@@ -1,0 +1,190 @@
+// Ablation: what does the middleware layer itself cost?
+//
+// The 1.4% of Figure 5 decomposes into (a) schema validation, (b) policy /
+// plan lookup, (c) registry-mediated virtual dispatch. This bench measures
+// each component in isolation, plus end-to-end insert and equality-search
+// through a DET-only schema with tactics called directly (S_B style)
+// versus through the Gateway (S_C style). DET-only keeps Paillier out of
+// the picture so the *dispatch* delta is visible rather than drowned.
+#include <benchmark/benchmark.h>
+
+#include "core/cloud_node.hpp"
+#include "core/gateway.hpp"
+#include "core/policy.hpp"
+#include "core/tactics/builtin.hpp"
+#include "core/tactics/det_tactic.hpp"
+#include "doc/binary_codec.hpp"
+#include "fhir/observation.hpp"
+
+namespace {
+
+using namespace datablinder;
+using doc::Document;
+using doc::Value;
+
+core::TacticRegistry& registry() {
+  static core::TacticRegistry r = [] {
+    core::TacticRegistry reg;
+    core::register_builtin_tactics(reg);
+    return reg;
+  }();
+  return r;
+}
+
+schema::Schema det_only_schema() {
+  schema::Schema s("abl");
+  schema::FieldAnnotation f;
+  f.type = schema::FieldType::kString;
+  f.sensitive = true;
+  f.protection = schema::ProtectionClass::kClass4;
+  f.operations = {schema::Operation::kInsert, schema::Operation::kEquality};
+  s.field("f", f);
+  return s;
+}
+
+struct Rig {
+  Rig() : rpc(cloud.rpc(), channel) {}
+  core::CloudNode cloud;
+  net::Channel channel;
+  net::RpcClient rpc;
+  kms::KeyManager kms;
+  store::KvStore local;
+};
+
+void BM_PolicySelection(benchmark::State& state) {
+  const schema::Schema s = fhir::observation_schema("obs");
+  core::PolicyEngine policy(registry());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.select(s));
+  }
+}
+BENCHMARK(BM_PolicySelection);
+
+void BM_SchemaValidation(benchmark::State& state) {
+  const schema::Schema s = fhir::observation_schema("obs");
+  fhir::ObservationGenerator gen(1);
+  const Document d = gen.next();
+  for (auto _ : state) {
+    s.validate(d);
+  }
+}
+BENCHMARK(BM_SchemaValidation);
+
+void BM_RegistryInstantiation(benchmark::State& state) {
+  Rig rig;
+  core::GatewayContext ctx;
+  ctx.cloud = &rig.rpc;
+  ctx.local_store = &rig.local;
+  ctx.kms = &rig.kms;
+  ctx.collection = "c";
+  ctx.field = "f";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry().create_field("DET", ctx));
+  }
+}
+BENCHMARK(BM_RegistryInstantiation);
+
+// S_B style: concrete DetTactic driven directly — same protocol work as
+// the gateway path (seal blob, doc.put, index insert), minus the
+// middleware layer (validation, plan lookup, locking, metrics, virtual
+// dispatch).
+void BM_DirectDetInsert(benchmark::State& state) {
+  Rig rig;
+  core::GatewayContext ctx;
+  ctx.cloud = &rig.rpc;
+  ctx.local_store = &rig.local;
+  ctx.kms = &rig.kms;
+  ctx.collection = "abl";
+  ctx.field = "f";
+  core::DetTactic det(ctx);
+  det.setup();
+  crypto::AesGcm doc_cipher(rig.kms.derive("doc/abl", 32));
+  int i = 0;
+  for (auto _ : state) {
+    Document d;
+    d.id = "doc" + std::to_string(i++);
+    d.set("f", Value("v" + std::to_string(i % 8)));
+    const Bytes blob =
+        doc_cipher.seal_random_nonce(doc::encode_document(d), to_bytes(d.id));
+    doc::Object req;
+    req["col"] = Value(std::string("abl"));
+    req["id"] = Value(d.id);
+    req["blob"] = Value(blob);
+    rig.rpc.call("doc.put", doc::encode_value(Value(std::move(req))));
+    det.on_insert(d.id, d.at("f"));
+  }
+}
+BENCHMARK(BM_DirectDetInsert)->Unit(benchmark::kMicrosecond);
+
+// S_C style: the same work through the full middleware.
+void BM_GatewayDetInsert(benchmark::State& state) {
+  Rig rig;
+  core::Gateway gateway(rig.rpc, rig.kms, rig.local, registry(), {});
+  gateway.register_schema(det_only_schema());
+  int i = 0;
+  for (auto _ : state) {
+    Document d;
+    d.set("f", Value("v" + std::to_string(i++ % 8)));
+    benchmark::DoNotOptimize(gateway.insert("abl", std::move(d)));
+  }
+}
+BENCHMARK(BM_GatewayDetInsert)->Unit(benchmark::kMicrosecond);
+
+void BM_DirectDetSearch(benchmark::State& state) {
+  Rig rig;
+  core::GatewayContext ctx;
+  ctx.cloud = &rig.rpc;
+  ctx.local_store = &rig.local;
+  ctx.kms = &rig.kms;
+  ctx.collection = "abl";
+  ctx.field = "f";
+  core::DetTactic det(ctx);
+  det.setup();
+  crypto::AesGcm doc_cipher(rig.kms.derive("doc/abl", 32));
+  for (int i = 0; i < 64; ++i) {
+    Document d;
+    d.id = "doc" + std::to_string(i);
+    d.set("f", Value("v" + std::to_string(i % 8)));
+    const Bytes blob =
+        doc_cipher.seal_random_nonce(doc::encode_document(d), to_bytes(d.id));
+    doc::Object req;
+    req["col"] = Value(std::string("abl"));
+    req["id"] = Value(d.id);
+    req["blob"] = Value(blob);
+    rig.rpc.call("doc.put", doc::encode_value(Value(std::move(req))));
+    det.on_insert(d.id, d.at("f"));
+  }
+  for (auto _ : state) {
+    // Same work as the gateway path: ids, then fetch + decrypt each match.
+    const auto ids = det.equality_search(Value("v3"));
+    for (const auto& id : ids) {
+      doc::Object req;
+      req["col"] = Value(std::string("abl"));
+      req["id"] = Value(id);
+      const Bytes reply = rig.rpc.call("doc.get", doc::encode_value(Value(std::move(req))));
+      const doc::Value obj = doc::decode_value(reply);
+      const Bytes& blob = obj.as_object().at("blob").as_binary();
+      benchmark::DoNotOptimize(doc_cipher.open_with_nonce(blob, to_bytes(id)));
+    }
+  }
+}
+BENCHMARK(BM_DirectDetSearch)->Unit(benchmark::kMicrosecond);
+
+void BM_GatewayDetSearch(benchmark::State& state) {
+  Rig rig;
+  core::Gateway gateway(rig.rpc, rig.kms, rig.local, registry(), {});
+  gateway.register_schema(det_only_schema());
+  for (int i = 0; i < 64; ++i) {
+    Document d;
+    d.set("f", Value("v" + std::to_string(i % 8)));
+    gateway.insert("abl", std::move(d));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gateway.equality_search("abl", "f", Value("v3")));
+  }
+}
+BENCHMARK(BM_GatewayDetSearch)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Figure 5 reproduction — per-operation and overall throughput of the
+// three scenarios:
+//   S_A  plaintext application, no middleware, no tactics
+//   S_B  the 8 tactics (Mitra, RND, Paillier, 5x DET) hard-coded
+//   S_C  the same tactics enforced through DataBlinder
+//
+// The paper reports ~44% overall throughput loss from the tactics and only
+// ~1.4% additional loss from the middleware layer. Absolute numbers differ
+// (their testbed was two OpenStack/public-cloud VMs driven by Locust with
+// 1000 users and ~151k requests; ours is an in-process deployment with a
+// simulated channel) — the reproduced quantity is the *decomposition*:
+// S_A >> S_B ~= S_C, with S_C within a few percent of S_B.
+//
+// Environment knobs: FIG5_REQUESTS (default 2400), FIG5_USERS (12),
+// FIG5_PRELOAD (300), FIG5_LATENCY_US (simulated one-way WAN delay, 0).
+// Adding WAN delay makes the plaintext baseline pay realistic network
+// costs per operation, compressing the S_A->S_B gap toward the paper's
+// testbed ratio (their S_A was bottlenecked by a real MongoDB over a real
+// network; the in-process default measures the pure CPU ratio instead).
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/tactics/builtin.hpp"
+#include "workload/loadgen.hpp"
+#include "workload/scenarios.hpp"
+
+using namespace datablinder;
+using namespace datablinder::workload;
+
+namespace {
+std::size_t env_or(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? static_cast<std::size_t>(std::atoll(v)) : fallback;
+}
+}  // namespace
+
+int main() {
+  LoadConfig cfg;
+  cfg.total_requests = env_or("FIG5_REQUESTS", 2400);
+  cfg.users = env_or("FIG5_USERS", 12);
+  cfg.preload_documents = env_or("FIG5_PRELOAD", 300);
+
+  net::ChannelConfig channel_cfg;
+  channel_cfg.one_way_latency_us = env_or("FIG5_LATENCY_US", 0);
+
+  core::TacticRegistry registry;
+  core::register_builtin_tactics(registry);
+
+  std::printf("== Figure 5: throughput comparison "
+              "(%zu requests, %zu users, %zu preloaded docs, %llu us one-way) ==\n\n",
+              cfg.total_requests, cfg.users, cfg.preload_documents,
+              static_cast<unsigned long long>(channel_cfg.one_way_latency_us));
+
+  RunResult results[3];
+  {
+    ScenarioHarness h(channel_cfg);
+    ScenarioA s(h);
+    results[0] = run_load(s, cfg);
+    std::printf("%s\n", results[0].to_report().c_str());
+  }
+  {
+    ScenarioHarness h(channel_cfg);
+    ScenarioB s(h);
+    results[1] = run_load(s, cfg);
+    std::printf("%s\n", results[1].to_report().c_str());
+  }
+  {
+    ScenarioHarness h(channel_cfg);
+    ScenarioC s(h, registry);
+    results[2] = run_load(s, cfg);
+    std::printf("%s\n", results[2].to_report().c_str());
+    std::printf("secure index operations during S_C run: %llu\n\n",
+                static_cast<unsigned long long>(h.cloud_node.index_ops()));
+  }
+
+  // The Figure 5 bars, normalized.
+  std::printf("%-12s %12s %12s %12s %12s\n", "scenario", "write rps", "read rps",
+              "agg rps", "overall rps");
+  for (const auto& r : results) {
+    std::printf("%-12s %12.1f %12.1f %12.1f %12.1f\n", r.scenario.substr(0, 3).c_str(),
+                r.write.throughput_rps, r.read.throughput_rps,
+                r.aggregate.throughput_rps, r.overall_throughput_rps);
+  }
+
+  const double tactic_loss =
+      100.0 * (1.0 - results[1].overall_throughput_rps / results[0].overall_throughput_rps);
+  const double middleware_loss =
+      100.0 * (1.0 - results[2].overall_throughput_rps / results[1].overall_throughput_rps);
+  std::printf(
+      "\noverall throughput loss from data-protection tactics (S_A -> S_B): %5.1f%%"
+      "   [paper: ~44%%]\n"
+      "additional loss from the middleware layer        (S_B -> S_C): %5.1f%%"
+      "   [paper: ~1.4%%]\n",
+      tactic_loss, middleware_loss);
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Related-work comparison: CryptDB-style onion encryption vs DataBlinder's
+// per-field tactic selection, on the same numeric column and query mix.
+//
+// What the paper argues qualitatively in §6, measured:
+//  * leakage over time — the onion column's protection RATCHETS DOWN the
+//    moment the first equality (then range) query arrives and stays there
+//    for every row forever; DataBlinder's leakage is fixed up front by the
+//    annotation and never widens at query time;
+//  * the peel cost — CryptDB re-encrypts the whole column server-side per
+//    level change; DataBlinder pays per-row index entries at insert time;
+//  * steady-state query cost — onion equality is a column scan; the DET
+//    tactic is an index lookup.
+#include <cstdio>
+
+#include "common/stopwatch.hpp"
+#include "core/cloud_node.hpp"
+#include "core/gateway.hpp"
+#include "core/tactics/builtin.hpp"
+#include "onion/onion.hpp"
+
+using namespace datablinder;
+using doc::Document;
+using doc::Value;
+
+int main() {
+  constexpr int kRows = 400;
+  constexpr int kQueries = 50;
+
+  // --- CryptDB-style onion column -----------------------------------------
+  onion::OnionClient client(Bytes(32, 1), "obs.effective", /*numeric=*/true);
+  onion::OnionColumnServer column("obs.effective", true);
+  Stopwatch sw;
+  for (int i = 0; i < kRows; ++i) {
+    column.put("r" + std::to_string(i), client.encrypt(Value(std::int64_t{i * 37})));
+  }
+  const double onion_insert_ms = sw.elapsed_ms();
+  const std::size_t onion_bytes_rnd = column.storage_bytes();
+
+  std::printf("== Onion (CryptDB-style) column lifecycle ==\n\n");
+  std::printf("%-34s level=%s  storage=%zu B\n", "after ingest:",
+              to_string(column.level()).c_str(), onion_bytes_rnd);
+
+  sw.reset();
+  column.peel_to_det(client.rnd_layer_key(), "obs.effective");
+  const double peel1_ms = sw.elapsed_ms();
+  std::printf("%-34s level=%s  storage=%zu B  (peel cost %.1f ms, ALL %d rows "
+              "leak equality from now on)\n",
+              "first equality query arrives:", to_string(column.level()).c_str(),
+              column.storage_bytes(), peel1_ms, kRows);
+
+  sw.reset();
+  for (int q = 0; q < kQueries; ++q) {
+    column.find_eq(client.eq_token(Value(std::int64_t{(q % kRows) * 37})));
+  }
+  const double onion_eq_us = sw.elapsed_us() / kQueries;
+
+  sw.reset();
+  column.peel_to_ope(client.det_layer_key(), "obs.effective");
+  const double peel2_ms = sw.elapsed_ms();
+  std::printf("%-34s level=%s  storage=%zu B  (peel cost %.1f ms, order leaks "
+              "permanently)\n",
+              "first range query arrives:", to_string(column.level()).c_str(),
+              column.storage_bytes(), peel2_ms);
+
+  sw.reset();
+  for (int q = 0; q < kQueries; ++q) {
+    const auto [lo, hi] =
+        client.range_tokens(Value(std::int64_t{q * 10}), Value(std::int64_t{q * 10 + 3000}));
+    column.find_range(lo, hi);
+  }
+  const double onion_range_us = sw.elapsed_us() / kQueries;
+
+  // --- DataBlinder: DET + OPE tactics selected up front --------------------
+  core::CloudNode cloud;
+  net::Channel channel;
+  net::RpcClient rpc(cloud.rpc(), channel);
+  kms::KeyManager kms;
+  store::KvStore local;
+  core::TacticRegistry registry;
+  core::register_builtin_tactics(registry);
+  core::Gateway gateway(rpc, kms, local, registry, {});
+
+  schema::Schema s("obs");
+  schema::FieldAnnotation f;
+  f.type = schema::FieldType::kInt;
+  f.sensitive = true;
+  f.protection = schema::ProtectionClass::kClass5;
+  f.operations = {schema::Operation::kInsert, schema::Operation::kEquality,
+                  schema::Operation::kRange};
+  s.field("effective", f);
+  gateway.register_schema(s);
+
+  sw.reset();
+  std::vector<Document> corpus;
+  for (int i = 0; i < kRows; ++i) {
+    Document d;
+    d.set("effective", Value(std::int64_t{i * 37}));
+    corpus.push_back(std::move(d));
+  }
+  gateway.insert_many("obs", std::move(corpus));
+  const double db_insert_ms = sw.elapsed_ms();
+
+  sw.reset();
+  for (int q = 0; q < kQueries; ++q) {
+    gateway.equality_search("obs", "effective", Value(std::int64_t{(q % kRows) * 37}));
+  }
+  const double db_eq_us = sw.elapsed_us() / kQueries;
+
+  sw.reset();
+  for (int q = 0; q < kQueries; ++q) {
+    gateway.range_search("obs", "effective", Value(std::int64_t{q * 10}),
+                         Value(std::int64_t{q * 10 + 3000}));
+  }
+  const double db_range_us = sw.elapsed_us() / kQueries;
+
+  std::printf("\n== Side by side (%d rows, %d queries per kind) ==\n\n", kRows, kQueries);
+  std::printf("%-26s %14s %14s\n", "", "onion(CryptDB)", "DataBlinder");
+  std::printf("%-26s %11.1f ms %11.1f ms\n", "ingest", onion_insert_ms, db_insert_ms);
+  std::printf("%-26s %11.1f ms %14s\n", "leakage change at query", peel1_ms + peel2_ms,
+              "none");
+  std::printf("%-26s %11.1f us %11.1f us\n", "equality query", onion_eq_us, db_eq_us);
+  std::printf("%-26s %11.1f us %11.1f us\n", "range query", onion_range_us, db_range_us);
+  std::printf("%-26s %14zu %14zu\n", "cloud bytes", column.storage_bytes(),
+              cloud.storage_bytes());
+  std::printf(
+      "\nThe onion column ends at OPE level for every row — equality tokens no\n"
+      "longer even apply (single-onion model) and order leaks globally.\n"
+      "DataBlinder pays more storage (parallel DET + OPE indexes + AEAD blobs)\n"
+      "but its leakage was chosen per field at schema time and never widened.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Crypto agility — the paper's headline property: "the ability to plug and
+// play cryptographic schemes depending on their evolution in time."
+//
+// The SAME application code (schema + queries below) runs against three
+// registry configurations:
+//   baseline     — the default tactic set (BIEX-2Lev, Mitra, OPE),
+//   space-opt    — BIEX-ZMF promoted over BIEX-2Lev (smaller index, reads
+//                  re-verified at the gateway),
+//   ore-resting  — ORE promoted over OPE (stored ciphertexts mutually
+//                  incomparable; only query tokens reveal order).
+// Queries return identical answers in every configuration; what changes is
+// the cloud-side footprint and the leakage profile — printed side by side.
+//
+// Build & run:  ./build/examples/crypto_agility
+#include <cstdio>
+#include <functional>
+
+#include "core/cloud_node.hpp"
+#include "core/gateway.hpp"
+#include "core/tactics/biexzmf_tactic.hpp"
+#include "core/tactics/builtin.hpp"
+#include "core/tactics/ore_tactic.hpp"
+#include "fhir/observation.hpp"
+
+using namespace datablinder;
+using doc::Document;
+using doc::Value;
+
+namespace {
+
+core::TacticRegistry make_registry(const std::string& flavour) {
+  core::TacticRegistry r;
+  core::register_det_tactic(r);
+  core::register_rnd_tactic(r);
+  core::register_mitra_tactic(r);
+  core::register_sophos_tactic(r);
+  if (flavour == "space-opt") {
+    core::TacticDescriptor d = core::BiexZmfTactic::static_descriptor();
+    d.preference = 100;  // promote the matryoshka-filter variant
+    r.register_boolean_tactic(std::move(d), [](const core::GatewayContext& ctx) {
+      return std::make_unique<core::BiexZmfTactic>(ctx);
+    });
+  } else {
+    core::register_biexzmf_tactic(r);
+  }
+  core::register_biex2lev_tactic(r);
+  if (flavour == "ore-resting") {
+    core::TacticDescriptor d = core::OreTactic::static_descriptor();
+    d.preference = 100;  // promote ORE over OPE
+    r.register_field_tactic(std::move(d), [](const core::GatewayContext& ctx) {
+      return std::make_unique<core::OreTactic>(ctx);
+    });
+  } else {
+    core::register_ore_tactic(r);
+  }
+  core::register_ope_tactic(r);
+  core::register_paillier_tactic(r);
+  return r;
+}
+
+struct RunStats {
+  std::string boolean_tactic, range_tactic;
+  std::size_t bool_hits = 0, range_hits = 0;
+  double avg = 0;
+  std::size_t cloud_bytes = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+// The application: entirely tactic-agnostic.
+RunStats run_application(const core::TacticRegistry& registry) {
+  core::CloudNode cloud;
+  net::Channel channel;
+  net::RpcClient rpc(cloud.rpc(), channel);
+  kms::KeyManager kms(Bytes(32, 9));  // fixed master so runs are comparable
+  store::KvStore gateway_store;
+  core::Gateway gateway(rpc, kms, gateway_store, registry,
+                        core::GatewayConfig{{{"paillier_modulus_bits", "512"}}});
+  gateway.register_schema(fhir::observation_schema("obs"));
+
+  fhir::ObservationGenerator gen(4242);
+  for (int i = 0; i < 150; ++i) gateway.insert("obs", gen.next());
+
+  RunStats s;
+  s.boolean_tactic = gateway.plan("obs").boolean_tactic;
+  s.range_tactic = gateway.plan("obs").fields.at("effective").range_tactic;
+
+  core::FieldBoolQuery q;
+  q.dnf.push_back({{"status", Value("final")}, {"code", Value("glucose")}});
+  s.bool_hits = gateway.boolean_search("obs", q).size();
+
+  s.range_hits = gateway
+                     .range_search("obs", "effective", Value(std::int64_t{1357000000}),
+                                   Value(std::int64_t{1380000000}))
+                     .size();
+  s.avg = gateway.aggregate("obs", "value", schema::Aggregate::kAverage).value;
+  s.cloud_bytes = cloud.storage_bytes();
+  s.wire_bytes = channel.stats().bytes_sent.load() +
+                 channel.stats().bytes_received.load();
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const char* flavours[] = {"baseline", "space-opt", "ore-resting"};
+  std::printf("%-12s %-10s %-6s %-10s %-6s %-7s %-12s %-12s\n", "config", "boolean",
+              "hits", "range", "hits", "avg", "cloud bytes", "wire bytes");
+  std::printf("%.*s\n", 84,
+              "------------------------------------------------------------------------------------");
+  RunStats baseline;
+  for (const char* flavour : flavours) {
+    const core::TacticRegistry registry = make_registry(flavour);
+    const RunStats s = run_application(registry);
+    if (std::string(flavour) == "baseline") baseline = s;
+    std::printf("%-12s %-10s %-6zu %-10s %-6zu %-7.2f %-12zu %-12llu\n", flavour,
+                s.boolean_tactic.c_str(), s.bool_hits, s.range_tactic.c_str(),
+                s.range_hits, s.avg, s.cloud_bytes,
+                static_cast<unsigned long long>(s.wire_bytes));
+    // Crypto agility contract: identical answers under every configuration.
+    if (s.bool_hits != baseline.bool_hits || s.range_hits != baseline.range_hits) {
+      std::printf("!! configurations disagree — tactic swap changed semantics\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "\nSame application, same answers; swapping tactics changed only the\n"
+      "footprint and the leakage profile. That is crypto agility.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// E-finance use case — the other industry the paper's consortium serves
+// (UnifiedPost: invoicing/financial documents).
+//
+// An invoice ledger is outsourced to an untrusted cloud. Compliance needs:
+//   * auditors look up invoices by counterparty (equality, forward-private),
+//   * finance filters by (status AND category) (boolean search),
+//   * reporting sums and averages invoice amounts without ever exposing a
+//     single amount to the cloud (Paillier),
+//   * quarterly range queries over the booking date (OPE),
+//   * the beneficiary IBAN is stored but never searched (RND, Class 1),
+// plus an operational drill: key rotation via the Keys interface.
+//
+// Build & run:  ./build/examples/efinance_audit
+#include <cstdio>
+
+#include "core/cloud_node.hpp"
+#include "core/gateway.hpp"
+#include "core/tactics/builtin.hpp"
+#include "common/rng.hpp"
+
+using namespace datablinder;
+using doc::Document;
+using doc::Value;
+
+namespace {
+schema::Schema invoice_schema() {
+  schema::Schema s("invoices");
+  using schema::Aggregate;
+  using schema::FieldAnnotation;
+  using schema::FieldType;
+  using schema::Operation;
+  using schema::ProtectionClass;
+
+  FieldAnnotation counterparty;
+  counterparty.type = FieldType::kString;
+  counterparty.sensitive = true;
+  counterparty.protection = ProtectionClass::kClass2;  // identifier-level
+  counterparty.operations = {Operation::kInsert, Operation::kEquality};
+  s.field("counterparty", counterparty);
+
+  FieldAnnotation status;
+  status.type = FieldType::kString;
+  status.sensitive = true;
+  status.protection = ProtectionClass::kClass3;
+  status.operations = {Operation::kInsert, Operation::kEquality, Operation::kBoolean};
+  s.field("status", status);
+
+  FieldAnnotation category = status;
+  s.field("category", category);
+
+  FieldAnnotation amount;
+  amount.type = FieldType::kDouble;
+  amount.sensitive = true;
+  amount.protection = ProtectionClass::kClass1;  // never searchable, only aggregated
+  amount.operations = {Operation::kInsert};
+  amount.aggregates = {Aggregate::kSum, Aggregate::kAverage, Aggregate::kCount};
+  s.field("amount", amount);
+
+  FieldAnnotation booked;
+  booked.type = FieldType::kInt;
+  booked.sensitive = true;
+  booked.protection = ProtectionClass::kClass5;
+  booked.operations = {Operation::kInsert, Operation::kRange};
+  s.field("booked", booked);
+
+  FieldAnnotation iban;
+  iban.type = FieldType::kString;
+  iban.sensitive = true;
+  iban.protection = ProtectionClass::kClass1;
+  iban.operations = {Operation::kInsert};
+  s.field("iban", iban);
+
+  s.plain_field("reference", FieldType::kString);
+  return s;
+}
+}  // namespace
+
+int main() {
+  core::CloudNode cloud;
+  net::Channel channel;
+  net::RpcClient rpc(cloud.rpc(), channel);
+  kms::KeyManager kms;
+  store::KvStore gateway_store;
+  core::TacticRegistry registry;
+  core::register_builtin_tactics(registry);
+  core::Gateway gateway(rpc, kms, gateway_store, registry,
+                        core::GatewayConfig{{{"paillier_modulus_bits", "512"}}});
+
+  gateway.register_schema(invoice_schema());
+  std::printf("== Invoice ledger tactic selection ==\n%s\n",
+              gateway.plan("invoices").to_table().c_str());
+
+  const char* counterparties[] = {"Acme NV", "Globex BV", "Initech GmbH", "Umbrella SA"};
+  const char* statuses[] = {"paid", "open", "overdue"};
+  const char* categories[] = {"services", "goods", "licensing"};
+
+  DetRng rng(77);
+  const std::int64_t q1_start = 1704067200;  // 2024-01-01
+  double expected_total = 0;
+  for (int i = 0; i < 300; ++i) {
+    Document d;
+    d.set("counterparty", Value(counterparties[rng.uniform(4)]));
+    d.set("status", Value(statuses[rng.uniform(3)]));
+    d.set("category", Value(categories[rng.uniform(3)]));
+    const double amount = static_cast<double>(rng.range(1000, 999999)) / 100.0;
+    expected_total += amount;
+    d.set("amount", Value(amount));
+    d.set("booked", Value(q1_start + rng.range(0, 364 * 24 * 3600)));
+    d.set("iban", Value("BE" + std::to_string(10000000000000 + rng.range(0, 999999999))));
+    d.set("reference", Value("INV-2024-" + std::to_string(1000 + i)));
+    gateway.insert("invoices", d);
+  }
+
+  // Auditor: all invoices of one counterparty (Mitra — the cloud learns
+  // only which encrypted index entries were touched).
+  const auto acme = gateway.equality_search("invoices", "counterparty", Value("Acme NV"));
+  std::printf("audit: Acme NV has %zu invoices\n", acme.size());
+
+  // Finance: overdue service invoices (boolean across two fields).
+  core::FieldBoolQuery q;
+  q.dnf.push_back({{"status", Value("overdue")}, {"category", Value("services")}});
+  std::printf("finance: %zu overdue service invoices\n",
+              gateway.boolean_search("invoices", q).size());
+
+  // Reporting: totals without the cloud ever seeing one amount.
+  const auto total = gateway.aggregate("invoices", "amount", schema::Aggregate::kSum);
+  const auto avg = gateway.aggregate("invoices", "amount", schema::Aggregate::kAverage);
+  std::printf("reporting: total %.2f (expected %.2f), average %.2f over %llu invoices\n",
+              total.value, expected_total, avg.value,
+              static_cast<unsigned long long>(avg.count));
+
+  // Quarterly range over the booking date (OPE index scan).
+  const auto q1 = gateway.range_search("invoices", "booked", Value(q1_start),
+                                       Value(q1_start + 90 * 24 * 3600 - 1));
+  std::printf("quarterly: %zu invoices booked in Q1\n", q1.size());
+
+  // Operational drill: rotate the per-field Mitra key epoch via the Keys
+  // interface. New epochs yield fresh derived keys; re-encryption of the
+  // existing index would be driven by an operator runbook (out of scope
+  // here) — the drill shows the scoping works.
+  const std::uint64_t epoch = gateway.keys().rotate("mitra/invoices/counterparty");
+  std::printf("keys: rotated mitra/invoices/counterparty to epoch %llu\n",
+              static_cast<unsigned long long>(epoch));
+
+  std::printf("\ncloud holds %zu bytes of ciphertext for %d invoices; "
+              "%llu round trips total\n",
+              cloud.storage_bytes(), 300,
+              static_cast<unsigned long long>(channel.stats().round_trips.load()));
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "bigint/prime.hpp"
+
+#include <array>
+
+#include "common/status.hpp"
+
+namespace datablinder::bigint {
+
+namespace {
+// Small primes for cheap trial division before Miller–Rabin.
+constexpr std::array<std::uint32_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+}  // namespace
+
+bool is_probable_prime(const BigInt& n, int rounds) {
+  if (n < BigInt(2)) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigInt bp(static_cast<std::uint64_t>(p));
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+
+  // Write n-1 = d * 2^r with d odd.
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  std::size_t r = 0;
+  while (d.is_even()) {
+    d = d >> 1;
+    ++r;
+  }
+
+  const BigInt two(2);
+  for (int round = 0; round < rounds; ++round) {
+    // Random base in [2, n-2].
+    const BigInt a = BigInt(2) + BigInt::random_below(n - BigInt(4));
+    BigInt x = a.pow_mod(d, n);
+    if (x == BigInt(1) || x == n_minus_1) continue;
+    bool composite = true;
+    for (std::size_t i = 0; i + 1 < r; ++i) {
+      x = x.mul_mod(x, n);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigInt generate_prime(std::size_t bits, int rounds) {
+  require(bits >= 8, "generate_prime: need at least 8 bits");
+  for (;;) {
+    BigInt candidate = BigInt::random_bits(bits);
+    if (candidate.is_even()) candidate += BigInt(1);
+    if (is_probable_prime(candidate, rounds)) return candidate;
+  }
+}
+
+std::pair<BigInt, BigInt> generate_prime_pair(std::size_t bits) {
+  for (;;) {
+    BigInt p = generate_prime(bits);
+    BigInt q = generate_prime(bits);
+    if (p == q) continue;
+    const BigInt n = p * q;
+    const BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+    if (BigInt::gcd(n, phi) == BigInt(1)) return {std::move(p), std::move(q)};
+  }
+}
+
+}  // namespace datablinder::bigint

@@ -1,0 +1,20 @@
+// Probabilistic primality testing and prime generation for Paillier and
+// Sophos (RSA trapdoor permutation) key generation.
+#pragma once
+
+#include "bigint/bigint.hpp"
+
+namespace datablinder::bigint {
+
+/// Miller–Rabin with `rounds` random bases (error < 4^-rounds).
+bool is_probable_prime(const BigInt& n, int rounds = 24);
+
+/// Generates a random prime with exactly `bits` bits.
+BigInt generate_prime(std::size_t bits, int rounds = 24);
+
+/// Generates a *safe-ish* RSA/Paillier prime pair (p, q) of `bits` bits each
+/// with p != q and gcd(pq, (p-1)(q-1)) == 1 (required by Paillier when using
+/// g = n + 1).
+std::pair<BigInt, BigInt> generate_prime_pair(std::size_t bits);
+
+}  // namespace datablinder::bigint

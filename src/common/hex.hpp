@@ -1,0 +1,24 @@
+// Hex and Base64 codecs used for key material, document ids and debugging.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace datablinder {
+
+/// Lowercase hex encoding.
+std::string hex_encode(BytesView b);
+
+/// Decodes a hex string (case-insensitive). Throws std::invalid_argument on
+/// odd length or non-hex characters.
+Bytes hex_decode(std::string_view s);
+
+/// Standard Base64 (RFC 4648, with padding).
+std::string base64_encode(BytesView b);
+
+/// Decodes Base64. Throws std::invalid_argument on malformed input.
+Bytes base64_decode(std::string_view s);
+
+}  // namespace datablinder

@@ -1,0 +1,48 @@
+// Minimal leveled logger.
+//
+// The middleware logs tactic selection decisions and protocol events at
+// kInfo; benches silence it by raising the level. Not a general-purpose
+// logging framework — just enough observability for a middleware library.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace datablinder {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level (default kWarn so tests/benches stay quiet).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Writes one line to stderr if `level` >= the global level.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define DB_LOG(level) ::datablinder::detail::LogStream(level)
+#define DB_LOG_DEBUG DB_LOG(::datablinder::LogLevel::kDebug)
+#define DB_LOG_INFO DB_LOG(::datablinder::LogLevel::kInfo)
+#define DB_LOG_WARN DB_LOG(::datablinder::LogLevel::kWarn)
+#define DB_LOG_ERROR DB_LOG(::datablinder::LogLevel::kError)
+
+}  // namespace datablinder

@@ -1,0 +1,62 @@
+#include "common/rng.hpp"
+
+#include <cstdio>
+
+#include "common/status.hpp"
+
+namespace datablinder {
+
+void SecureRng::fill(std::span<std::uint8_t> out) {
+  // A static FILE handle would need locking; opening per call keeps this
+  // simple and is far from any hot path (key generation only).
+  static thread_local std::FILE* urandom = std::fopen("/dev/urandom", "rb");
+  if (urandom == nullptr) {
+    throw_error(ErrorCode::kUnavailable, "cannot open /dev/urandom");
+  }
+  if (std::fread(out.data(), 1, out.size(), urandom) != out.size()) {
+    throw_error(ErrorCode::kUnavailable, "short read from /dev/urandom");
+  }
+}
+
+Bytes SecureRng::bytes(std::size_t n) {
+  Bytes out(n);
+  fill(out);
+  return out;
+}
+
+std::uint64_t SecureRng::uniform(std::uint64_t bound) {
+  require(bound > 0, "SecureRng::uniform: bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  for (;;) {
+    std::uint64_t v = 0;
+    fill({reinterpret_cast<std::uint8_t*>(&v), sizeof(v)});
+    if (v < limit) return v % bound;
+  }
+}
+
+std::uint64_t DetRng::uniform(std::uint64_t bound) {
+  require(bound > 0, "DetRng::uniform: bound must be positive");
+  return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(engine_);
+}
+
+std::int64_t DetRng::range(std::int64_t lo, std::int64_t hi) {
+  require(lo <= hi, "DetRng::range: lo > hi");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double DetRng::real() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+void DetRng::fill(std::span<std::uint8_t> out) {
+  for (auto& b : out) b = static_cast<std::uint8_t>(engine_());
+}
+
+Bytes DetRng::bytes(std::size_t n) {
+  Bytes out(n);
+  fill(out);
+  return out;
+}
+
+}  // namespace datablinder

@@ -1,0 +1,57 @@
+// Random number generation.
+//
+// Two distinct generators are provided on purpose:
+//  * `SecureRng` — cryptographic randomness for keys, nonces and Paillier
+//    blinding, sourced from the OS entropy pool (/dev/urandom).
+//  * `DetRng`    — fast, seedable, *deterministic* randomness for workload
+//    generation, simulation and property tests. Never use for key material.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/bytes.hpp"
+
+namespace datablinder {
+
+/// Cryptographically secure generator backed by the OS entropy pool.
+/// Thread-safe: each call reads independently.
+class SecureRng {
+ public:
+  /// Fills `out` with random bytes. Throws Error(kUnavailable) if the
+  /// entropy source cannot be read.
+  static void fill(std::span<std::uint8_t> out);
+
+  /// Returns `n` random bytes.
+  static Bytes bytes(std::size_t n);
+
+  /// Uniform random integer in [0, bound). Requires bound > 0.
+  static std::uint64_t uniform(std::uint64_t bound);
+};
+
+/// Deterministic, seedable generator for simulations and tests.
+class DetRng {
+ public:
+  explicit DetRng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [0, bound). Requires bound > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double real();
+
+  /// Fills a buffer with pseudorandom bytes.
+  void fill(std::span<std::uint8_t> out);
+
+  Bytes bytes(std::size_t n);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace datablinder

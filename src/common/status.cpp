@@ -1,0 +1,28 @@
+#include "common/status.hpp"
+
+namespace datablinder {
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kCryptoFailure: return "crypto_failure";
+    case ErrorCode::kSchemaViolation: return "schema_violation";
+    case ErrorCode::kPolicyViolation: return "policy_violation";
+    case ErrorCode::kProtocolError: return "protocol_error";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+void throw_error(ErrorCode code, const std::string& message) {
+  throw Error(code, message);
+}
+
+void require(bool cond, const std::string& message) {
+  if (!cond) throw Error(ErrorCode::kInvalidArgument, message);
+}
+
+}  // namespace datablinder

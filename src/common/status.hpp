@@ -1,0 +1,50 @@
+// Error model for DataBlinder.
+//
+// The library follows the C++ Core Guidelines error-handling philosophy:
+// programming errors are asserted, operational failures are reported by
+// typed exceptions rooted at `datablinder::Error`. Each subsystem throws a
+// category-tagged error so callers (and the middleware core) can translate
+// failures into protocol-level responses.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace datablinder {
+
+/// Failure categories roughly matching the middleware subsystems.
+enum class ErrorCode {
+  kInvalidArgument,   // malformed input to a public API
+  kNotFound,          // missing key, document, collection, tactic, ...
+  kAlreadyExists,     // duplicate id / schema / registration
+  kCryptoFailure,     // authentication tag mismatch, malformed ciphertext
+  kSchemaViolation,   // document does not match its configured schema
+  kPolicyViolation,   // annotations cannot be satisfied by any tactic
+  kProtocolError,     // malformed or unexpected RPC message
+  kUnavailable,       // channel closed / endpoint down / injected fault
+  kInternal,          // invariant broken; indicates a library bug
+};
+
+/// Human-readable name for an ErrorCode (used in logs and messages).
+std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// Root of the DataBlinder exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(error_code_name(code)) + ": " + message),
+        code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+[[noreturn]] void throw_error(ErrorCode code, const std::string& message);
+
+/// Throws kInvalidArgument unless `cond` holds.
+void require(bool cond, const std::string& message);
+
+}  // namespace datablinder

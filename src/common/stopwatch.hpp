@@ -1,0 +1,30 @@
+// Monotonic stopwatch used by the workload statistics and benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace datablinder {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+            .count());
+  }
+
+  double elapsed_us() const { return static_cast<double>(elapsed_ns()) / 1e3; }
+  double elapsed_ms() const { return static_cast<double>(elapsed_ns()) / 1e6; }
+  double elapsed_s() const { return static_cast<double>(elapsed_ns()) / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace datablinder

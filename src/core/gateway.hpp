@@ -1,0 +1,165 @@
+// Gateway — the trusted-zone data protection gateway (Fig. 3, Fig. 4).
+//
+// Exposes the three application-facing interfaces of the deployment view:
+//   * Schema   — register annotated schemas; the policy engine resolves
+//                them to tactic plans and the registry instantiates the
+//                gateway-side implementations at runtime.
+//   * Entities — CRUD plus equality / boolean / range search and
+//                aggregates; the middleware core validates documents,
+//                encrypts them (AES-GCM, per-collection key), routes every
+//                sensitive field through its selected tactics, and resolves
+//                query results (Retrieval + SecureEnc + *Resolution SPI
+//                roles) including exact re-verification of approximate
+//                candidates.
+//   * Keys     — access to the key manager (HSM integration point).
+//
+// Concurrency: one reader/writer lock per collection — mutations are
+// exclusive (SSE client state advances), queries run shared.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/policy.hpp"
+#include "core/registry.hpp"
+#include "crypto/gcm.hpp"
+#include "doc/value.hpp"
+
+namespace datablinder::core {
+
+struct GatewayConfig {
+  /// Forwarded to every tactic's GatewayContext (e.g.
+  /// "paillier_modulus_bits", "sophos_modulus_bits", "zmf_filter_bits").
+  std::map<std::string, std::string> tactic_params;
+};
+
+/// One predicate of a boolean query: field == value.
+struct FieldTerm {
+  std::string field;
+  doc::Value value;
+};
+
+/// Boolean query in DNF over field terms: OR over AND-lists.
+struct FieldBoolQuery {
+  std::vector<std::vector<FieldTerm>> dnf;
+};
+
+class Gateway {
+ public:
+  Gateway(net::RpcClient& cloud, kms::KeyManager& kms, store::KvStore& local_store,
+          const TacticRegistry& registry, GatewayConfig config = {});
+
+  // --- Schema interface --------------------------------------------------
+  /// Registers a schema: runs policy selection, instantiates and sets up
+  /// every selected tactic. Throws kAlreadyExists for duplicate names and
+  /// kPolicyViolation when annotations cannot be satisfied.
+  void register_schema(schema::Schema s);
+
+  const CollectionPlan& plan(const std::string& collection) const;
+  const schema::Schema& schema_of(const std::string& collection) const;
+
+  // --- Entities interface --------------------------------------------------
+  /// Validates, encrypts and stores the document; indexes every sensitive
+  /// field through its tactics. Generates an id when d.id is empty
+  /// (DocIDGen); returns the document id.
+  DocId insert(const std::string& collection, doc::Document d);
+
+  /// Bulk ingest: like insert() per document, but all fire-and-forget
+  /// index updates of the whole batch travel in ONE cloud round trip
+  /// (deferred RPC batching) — the WAN-facing fast path for initial data
+  /// outsourcing. Tactics whose update protocol requires intermediate
+  /// server reads (Mitra-SL) are automatically excluded from deferral and
+  /// keep their per-update round trips.
+  std::vector<DocId> insert_many(const std::string& collection,
+                                 std::vector<doc::Document> docs);
+
+  /// Fetches and decrypts one document. Throws kNotFound.
+  doc::Document read(const std::string& collection, const DocId& id);
+
+  /// Removes the document and all of its index entries.
+  void remove(const std::string& collection, const DocId& id);
+
+  /// Replace semantics: remove(d.id) + insert(d).
+  void update(const std::string& collection, doc::Document d);
+
+  /// Equality search on one field; returns full decrypted documents.
+  std::vector<doc::Document> equality_search(const std::string& collection,
+                                             const std::string& field,
+                                             const doc::Value& value);
+
+  /// Boolean (conjunctive/disjunctive, cross-field) search.
+  std::vector<doc::Document> boolean_search(const std::string& collection,
+                                            const FieldBoolQuery& query);
+
+  /// Inclusive range search on one numeric field.
+  std::vector<doc::Document> range_search(const std::string& collection,
+                                          const std::string& field,
+                                          const doc::Value& lo, const doc::Value& hi);
+
+  /// Aggregate over one field (sum / average / count / min / max).
+  AggregateResult aggregate(const std::string& collection, const std::string& field,
+                            schema::Aggregate agg);
+
+  // --- Keys interface --------------------------------------------------------
+  kms::KeyManager& keys() noexcept { return kms_; }
+
+  // --- Observability -----------------------------------------------------------
+  /// Per-(tactic, operation) latency series recorded around every tactic
+  /// protocol invocation (the Fig. 1 performance-metrics reification).
+  const PerfRegistry& perf() const noexcept { return perf_; }
+  PerfRegistry& perf() noexcept { return perf_; }
+
+ private:
+  struct CollectionState {
+    schema::Schema schema;
+    CollectionPlan plan;
+    std::unique_ptr<crypto::AesGcm> doc_cipher;  // whole-document AEAD
+    std::unique_ptr<BooleanTactic> boolean;
+    std::map<std::string, std::unique_ptr<FieldTactic>> eq;
+    std::map<std::string, std::unique_ptr<FieldTactic>> range;
+    std::map<std::string, std::unique_ptr<FieldTactic>> agg;
+    mutable std::shared_mutex op_mutex;
+  };
+
+  CollectionState& state(const std::string& collection);
+  const CollectionState& state(const std::string& collection) const;
+
+  GatewayContext make_context(const std::string& collection,
+                              const std::string& field) const;
+
+  Bytes seal_document(const CollectionState& cs, const doc::Document& d) const;
+  doc::Document open_document(const CollectionState& cs, const DocId& id,
+                              BytesView blob) const;
+
+  /// Fetches + decrypts a batch of ids; silently skips ids whose document
+  /// has vanished (races with deletions).
+  std::vector<doc::Document> fetch_documents(const CollectionState& cs,
+                                             const std::vector<DocId>& ids);
+
+  /// Cross-field keyword set of the document's boolean-member fields.
+  std::vector<std::string> boolean_keywords(const CollectionState& cs,
+                                            const doc::Document& d) const;
+
+  /// Index mutation fan-out shared by insert/remove.
+  void dispatch_update(CollectionState& cs, const doc::Document& d, bool is_insert);
+
+  static DocId generate_doc_id();
+
+  net::RpcClient& cloud_;
+  kms::KeyManager& kms_;
+  store::KvStore& local_store_;
+  const TacticRegistry& registry_;
+  GatewayConfig config_;
+  PolicyEngine policy_;
+  PerfRegistry perf_;
+
+  mutable std::mutex collections_mutex_;
+  std::map<std::string, std::unique_ptr<CollectionState>> collections_;
+};
+
+}  // namespace datablinder::core

@@ -1,0 +1,48 @@
+#include "core/metrics.hpp"
+
+#include <sstream>
+
+namespace datablinder::core {
+
+void PerfRegistry::record(const std::string& tactic, TacticOperation op,
+                          std::uint64_t ns) {
+  std::lock_guard lock(mutex_);
+  OpStats& s = series_[{tactic, op}];
+  ++s.count;
+  s.total_ns += ns;
+  if (ns > s.max_ns) s.max_ns = ns;
+}
+
+std::map<std::pair<std::string, TacticOperation>, OpStats> PerfRegistry::snapshot()
+    const {
+  std::lock_guard lock(mutex_);
+  return series_;
+}
+
+OpStats PerfRegistry::stats(const std::string& tactic, TacticOperation op) const {
+  std::lock_guard lock(mutex_);
+  auto it = series_.find({tactic, op});
+  return it == series_.end() ? OpStats{} : it->second;
+}
+
+std::string PerfRegistry::report() const {
+  const auto snap = snapshot();
+  std::ostringstream out;
+  out << "tactic       operation         count    mean/us     max/us\n";
+  char line[128];
+  for (const auto& [key, s] : snap) {
+    std::snprintf(line, sizeof(line), "%-12s %-16s %7llu %10.1f %10.1f\n",
+                  key.first.c_str(), to_string(key.second).c_str(),
+                  static_cast<unsigned long long>(s.count), s.mean_us(),
+                  static_cast<double>(s.max_ns) / 1e3);
+    out << line;
+  }
+  return out.str();
+}
+
+void PerfRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  series_.clear();
+}
+
+}  // namespace datablinder::core

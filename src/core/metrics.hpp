@@ -1,0 +1,75 @@
+// Performance-metric reification (the third axis of the tactic abstraction
+// model, Fig. 1: every tactic operation "comes with a performance cost
+// impacting clients' experience").
+//
+// The gateway records the latency of every tactic protocol invocation
+// here, keyed by (tactic, operation). Operators read the report to see
+// where a policy's cost actually lands — e.g. that Paillier aggregates
+// dominate, the observation §5.2 makes about the evaluation numbers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/spi.hpp"
+
+namespace datablinder::core {
+
+struct OpStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  double mean_us() const {
+    return count == 0 ? 0.0 : static_cast<double>(total_ns) / static_cast<double>(count) / 1e3;
+  }
+};
+
+class PerfRegistry {
+ public:
+  void record(const std::string& tactic, TacticOperation op, std::uint64_t ns);
+
+  /// Consistent copy of all recorded series.
+  std::map<std::pair<std::string, TacticOperation>, OpStats> snapshot() const;
+
+  /// Stats for one (tactic, operation) pair (zeroes if never recorded).
+  OpStats stats(const std::string& tactic, TacticOperation op) const;
+
+  /// Rendered per-tactic/per-operation table.
+  std::string report() const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::string, TacticOperation>, OpStats> series_;
+};
+
+/// RAII recorder: times a scope and files it on destruction.
+class ScopedPerf {
+ public:
+  ScopedPerf(PerfRegistry& registry, std::string tactic, TacticOperation op)
+      : registry_(registry), tactic_(std::move(tactic)), op_(op),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~ScopedPerf() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    registry_.record(tactic_, op_, static_cast<std::uint64_t>(ns));
+  }
+
+  ScopedPerf(const ScopedPerf&) = delete;
+  ScopedPerf& operator=(const ScopedPerf&) = delete;
+
+ private:
+  PerfRegistry& registry_;
+  std::string tactic_;
+  TacticOperation op_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace datablinder::core

@@ -1,0 +1,215 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/status.hpp"
+
+namespace datablinder::core {
+
+using schema::Aggregate;
+using schema::Operation;
+using schema::ProtectionClass;
+
+namespace {
+int class_value(ProtectionClass c) { return static_cast<int>(c); }
+
+void add_unique(std::vector<std::string>& v, const std::string& name) {
+  if (!name.empty() && std::find(v.begin(), v.end(), name) == v.end()) {
+    v.push_back(name);
+  }
+}
+}  // namespace
+
+std::vector<std::string> PolicyEngine::serving(Operation op) const {
+  std::vector<std::string> out;
+  for (const auto& name : registry_.names()) {
+    if (registry_.descriptor(name).serves_operations.count(op)) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> PolicyEngine::serving(Aggregate agg) const {
+  std::vector<std::string> out;
+  for (const auto& name : registry_.names()) {
+    if (registry_.descriptor(name).serves_aggregates.count(agg)) out.push_back(name);
+  }
+  return out;
+}
+
+std::string PolicyEngine::best_within(const std::vector<std::string>& candidates,
+                                      ProtectionClass bound) const {
+  // Least protective acceptable tactic: maximize class, then preference.
+  std::string best;
+  int best_class = 0;
+  int best_pref = 0;
+  for (const auto& name : candidates) {
+    const auto& d = registry_.descriptor(name);
+    const int cv = class_value(d.protection_class);
+    if (cv > class_value(bound)) continue;  // too leaky for this field
+    if (cv > best_class || (cv == best_class && d.preference > best_pref)) {
+      best = name;
+      best_class = cv;
+      best_pref = d.preference;
+    }
+  }
+  return best;
+}
+
+CollectionPlan PolicyEngine::select(const schema::Schema& s) const {
+  CollectionPlan plan;
+  plan.schema_name = s.name();
+
+  for (const auto& [field, ann] : s.fields()) {
+    if (!ann.sensitive) continue;  // protected only by whole-document AEAD
+
+    FieldPlan fp;
+    std::vector<std::string> reasons;
+    int weakest = class_value(ProtectionClass::kClass1);
+
+    auto apply = [&](const std::string& tactic) {
+      add_unique(fp.tactics, tactic);
+      weakest = std::max(weakest,
+                         class_value(registry_.descriptor(tactic).protection_class));
+    };
+
+    // --- boolean search ---------------------------------------------------
+    bool eq_folded = false;
+    if (ann.needs(Operation::kBoolean)) {
+      const std::string chosen = best_within(serving(Operation::kBoolean), ann.protection);
+      if (chosen.empty()) {
+        throw_error(ErrorCode::kPolicyViolation,
+                    "field '" + field + "': no boolean tactic within " +
+                        schema::to_string(ann.protection));
+      }
+      if (registry_.is_boolean(chosen)) {
+        // Collection-scoped (BIEX family): all BL fields share one index.
+        if (!plan.boolean_tactic.empty() && plan.boolean_tactic != chosen) {
+          // Keep the stricter (lower class) tactic for the whole collection.
+          const auto& prev = registry_.descriptor(plan.boolean_tactic);
+          const auto& next = registry_.descriptor(chosen);
+          if (class_value(next.protection_class) < class_value(prev.protection_class)) {
+            plan.boolean_tactic = chosen;
+          }
+        } else {
+          plan.boolean_tactic = chosen;
+        }
+        fp.boolean_member = true;
+        apply(chosen);
+        reasons.push_back("Boolean & cross-field");
+        if (ann.needs(Operation::kEquality) &&
+            registry_.descriptor(chosen).boolean_covers_equality) {
+          eq_folded = true;  // single-term boolean query answers equality
+        }
+      } else {
+        // Field-scoped tactic (DET): boolean via gateway-side combination.
+        fp.eq_tactic = chosen;
+        apply(chosen);
+        reasons.push_back("Boolean via equality combination");
+        eq_folded = true;
+      }
+    }
+
+    // --- equality search --------------------------------------------------
+    if (ann.needs(Operation::kEquality) && !eq_folded) {
+      const std::string chosen = best_within(serving(Operation::kEquality), ann.protection);
+      if (chosen.empty()) {
+        throw_error(ErrorCode::kPolicyViolation,
+                    "field '" + field + "': no equality tactic within " +
+                        schema::to_string(ann.protection));
+      }
+      fp.eq_tactic = chosen;
+      apply(chosen);
+      const auto& d = registry_.descriptor(chosen);
+      if (d.protection_class == ProtectionClass::kClass2) {
+        reasons.push_back("Identifier protection level");
+      } else if (d.protection_class == ProtectionClass::kClass1) {
+        reasons.push_back("Structure protection level");
+      } else {
+        reasons.push_back("Equality search");
+      }
+    }
+
+    // --- range queries ------------------------------------------------------
+    if (ann.needs(Operation::kRange)) {
+      const std::string chosen = best_within(serving(Operation::kRange), ann.protection);
+      if (chosen.empty()) {
+        throw_error(ErrorCode::kPolicyViolation,
+                    "field '" + field + "': no range tactic within " +
+                        schema::to_string(ann.protection));
+      }
+      fp.range_tactic = chosen;
+      apply(chosen);
+      reasons.push_back("Range queries");
+    }
+
+    // --- aggregates ---------------------------------------------------------
+    for (const Aggregate agg :
+         {Aggregate::kSum, Aggregate::kAverage, Aggregate::kCount}) {
+      if (!ann.needs(agg)) continue;
+      const std::string chosen = best_within(serving(agg), ann.protection);
+      if (chosen.empty()) {
+        throw_error(ErrorCode::kPolicyViolation,
+                    "field '" + field + "': no tactic for " + schema::to_string(agg));
+      }
+      if (fp.agg_tactic.empty()) {
+        fp.agg_tactic = chosen;
+        apply(chosen);
+        reasons.push_back("Cloud-side averages");
+      }
+    }
+    for (const Aggregate agg : {Aggregate::kMin, Aggregate::kMax}) {
+      if (!ann.needs(agg)) continue;
+      if (fp.range_tactic.empty()) {
+        throw_error(ErrorCode::kPolicyViolation,
+                    "field '" + field + "': min/max requires a range tactic (add RG)");
+      }
+      fp.minmax_via_range = true;
+    }
+
+    // --- storage-only sensitive fields --------------------------------------
+    if (fp.tactics.empty()) {
+      // No searchable capability requested: strongest storage protection.
+      const std::string chosen = best_within(serving(Operation::kInsert), ann.protection);
+      // RND (Class 1) always qualifies: every bound admits class 1.
+      fp.eq_tactic = "";
+      apply(chosen.empty() ? "RND" : chosen);
+      reasons.push_back("Structure protection level");
+    }
+
+    fp.effective = static_cast<ProtectionClass>(weakest);
+    std::ostringstream reason;
+    for (std::size_t i = 0; i < reasons.size(); ++i) {
+      if (i) reason << "; ";
+      reason << reasons[i];
+    }
+    fp.reason = reason.str();
+    DB_LOG_INFO << "policy: " << s.name() << "." << field << " -> "
+                << (fp.tactics.empty() ? "(none)" : fp.tactics[0])
+                << (fp.tactics.size() > 1 ? ",..." : "") << " [" << fp.reason << "]";
+    plan.fields.emplace(field, std::move(fp));
+  }
+  return plan;
+}
+
+std::string CollectionPlan::to_table() const {
+  std::ostringstream out;
+  out << "Sensitives      | Tactic Selection      | Reason\n";
+  out << "----------------+-----------------------+-------------------------------\n";
+  for (const auto& [field, fp] : fields) {
+    std::string tactics;
+    for (std::size_t i = 0; i < fp.tactics.size(); ++i) {
+      if (i) tactics += ", ";
+      tactics += fp.tactics[i];
+    }
+    out << field;
+    for (std::size_t i = field.size(); i < 16; ++i) out << ' ';
+    out << "| " << tactics;
+    for (std::size_t i = tactics.size(); i < 22; ++i) out << ' ';
+    out << "| " << fp.reason << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace datablinder::core

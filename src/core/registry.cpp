@@ -1,0 +1,66 @@
+#include "core/registry.hpp"
+
+#include "common/status.hpp"
+
+namespace datablinder::core {
+
+void TacticRegistry::register_field_tactic(TacticDescriptor descriptor,
+                                           FieldFactory factory) {
+  const std::string name = descriptor.name;
+  if (entries_.count(name)) {
+    throw_error(ErrorCode::kAlreadyExists, "registry: duplicate tactic " + name);
+  }
+  entries_.emplace(name, Entry{std::move(descriptor), std::move(factory), nullptr});
+  order_.push_back(name);
+}
+
+void TacticRegistry::register_boolean_tactic(TacticDescriptor descriptor,
+                                             BooleanFactory factory) {
+  const std::string name = descriptor.name;
+  if (entries_.count(name)) {
+    throw_error(ErrorCode::kAlreadyExists, "registry: duplicate tactic " + name);
+  }
+  entries_.emplace(name, Entry{std::move(descriptor), nullptr, std::move(factory)});
+  order_.push_back(name);
+}
+
+bool TacticRegistry::has(const std::string& name) const { return entries_.count(name) > 0; }
+
+bool TacticRegistry::is_boolean(const std::string& name) const {
+  return entry(name).boolean_factory != nullptr;
+}
+
+const TacticRegistry::Entry& TacticRegistry::entry(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw_error(ErrorCode::kNotFound, "registry: unknown tactic " + name);
+  }
+  return it->second;
+}
+
+const TacticDescriptor& TacticRegistry::descriptor(const std::string& name) const {
+  return entry(name).descriptor;
+}
+
+std::unique_ptr<FieldTactic> TacticRegistry::create_field(const std::string& name,
+                                                          const GatewayContext& ctx) const {
+  const Entry& e = entry(name);
+  if (!e.field_factory) {
+    throw_error(ErrorCode::kInvalidArgument, "registry: " + name + " is not field-scoped");
+  }
+  return e.field_factory(ctx);
+}
+
+std::unique_ptr<BooleanTactic> TacticRegistry::create_boolean(
+    const std::string& name, const GatewayContext& ctx) const {
+  const Entry& e = entry(name);
+  if (!e.boolean_factory) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "registry: " + name + " is not collection-scoped");
+  }
+  return e.boolean_factory(ctx);
+}
+
+std::vector<std::string> TacticRegistry::names() const { return order_; }
+
+}  // namespace datablinder::core

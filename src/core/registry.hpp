@@ -1,0 +1,60 @@
+// TacticRegistry — the pluggable SPI backbone (§4.2).
+//
+// Tactic providers register a descriptor plus a factory; the middleware
+// core instantiates implementations *by name at runtime* (strategy
+// pattern), which is what gives DataBlinder its crypto agility: swapping
+// the tactic bound to a field is a registry/policy change, not an
+// application change.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/spi.hpp"
+
+namespace datablinder::core {
+
+class TacticRegistry {
+ public:
+  using FieldFactory = std::function<std::unique_ptr<FieldTactic>(const GatewayContext&)>;
+  using BooleanFactory =
+      std::function<std::unique_ptr<BooleanTactic>(const GatewayContext&)>;
+
+  /// Registers a field-scoped tactic. Throws Error(kAlreadyExists) on a
+  /// duplicate name.
+  void register_field_tactic(TacticDescriptor descriptor, FieldFactory factory);
+
+  /// Registers a collection-scoped boolean tactic.
+  void register_boolean_tactic(TacticDescriptor descriptor, BooleanFactory factory);
+
+  bool has(const std::string& name) const;
+  bool is_boolean(const std::string& name) const;
+
+  /// Throws Error(kNotFound) for unknown names.
+  const TacticDescriptor& descriptor(const std::string& name) const;
+
+  std::unique_ptr<FieldTactic> create_field(const std::string& name,
+                                            const GatewayContext& ctx) const;
+  std::unique_ptr<BooleanTactic> create_boolean(const std::string& name,
+                                                const GatewayContext& ctx) const;
+
+  /// All registered tactic names (registration order).
+  std::vector<std::string> names() const;
+
+ private:
+  struct Entry {
+    TacticDescriptor descriptor;
+    FieldFactory field_factory;      // one of the two factories is set
+    BooleanFactory boolean_factory;
+  };
+
+  const Entry& entry(const std::string& name) const;
+
+  std::unordered_map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace datablinder::core

@@ -1,0 +1,200 @@
+// Service Provider Interface (SPI) — the tactic abstraction model of
+// paper §3.1 (Fig. 1) and the pluggable architecture of §4.2 (Table 1).
+//
+// A *tactic* packages one or more distributed protocol operations; each
+// operation is reified with a leakage profile (Fuller et al. taxonomy) and
+// performance metrics. Tactic providers implement the gateway-side
+// strategy classes below (and register cloud-side RPC handlers); the
+// middleware core loads the right implementation at runtime via the
+// TacticRegistry (strategy pattern).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "doc/value.hpp"
+#include "kms/key_manager.hpp"
+#include "net/rpc.hpp"
+#include "schema/schema.hpp"
+#include "sse/iex2lev.hpp"  // sse::BoolQuery
+#include "sse/index_common.hpp"
+#include "store/kvstore.hpp"
+
+namespace datablinder::core {
+
+using sse::DocId;
+
+/// Leakage taxonomy (Fuller et al., SoK 2017 — §3.1 of the paper).
+/// kStructure is the most secure; kOrder leaks the most.
+enum class LeakageLevel : std::uint8_t {
+  kStructure = 1,
+  kIdentifiers = 2,
+  kPredicates = 3,
+  kEqualities = 4,
+  kOrder = 5,
+};
+
+std::string to_string(LeakageLevel level);
+
+/// The high-level tactic operations (§3.1: init / update / query families).
+enum class TacticOperation : std::uint8_t {
+  kInit,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kRead,
+  kEqualitySearch,
+  kBooleanSearch,
+  kRangeQuery,
+  kSum,
+  kAverage,
+  kCount,
+  kMin,
+  kMax,
+};
+
+std::string to_string(TacticOperation op);
+
+/// The concrete service interfaces of Table 1. Tactics advertise which they
+/// implement on each side; the Table 2 bench prints these counts.
+enum class SpiInterface : std::uint8_t {
+  kInsertion,
+  kDocIdGen,
+  kSecureEnc,
+  kUpdate,
+  kRetrieval,
+  kDeletion,
+  kEqQuery,
+  kEqResolution,
+  kBoolQuery,
+  kBoolResolution,
+  kRangeQuery,
+  kRangeResolution,
+  kAggFunction,
+  kAggFunctionResolution,
+  kSetup,
+};
+
+std::string to_string(SpiInterface spi);
+
+/// Per-operation reification (Fig. 1): leakage + performance metrics.
+struct OperationProfile {
+  LeakageLevel leakage = LeakageLevel::kStructure;
+  /// Algorithmic cost descriptor, e.g. "O(c_w) dict lookups".
+  std::string complexity;
+  /// Protocol round trips between gateway and cloud per call.
+  int round_trips = 1;
+};
+
+/// Static description of a tactic — everything the policy engine and the
+/// Table 2 reproduction need.
+struct TacticDescriptor {
+  std::string name;
+  /// Protection class this tactic provides when applied to a field
+  /// (weakest-link input, §3.2). Aggregate-only tactics (Paillier) are
+  /// semantically secure: Class 1.
+  schema::ProtectionClass protection_class = schema::ProtectionClass::kClass1;
+  /// Which schema-level operations the tactic can serve.
+  std::set<schema::Operation> serves_operations;
+  std::set<schema::Aggregate> serves_aggregates;
+  /// Per-operation leakage/perf reification.
+  std::map<TacticOperation, OperationProfile> operations;
+  /// SPI coverage (Table 1 / Table 2 interface counts).
+  std::set<SpiInterface> gateway_interfaces;
+  std::set<SpiInterface> cloud_interfaces;
+  /// Table 2 "challenge" column.
+  std::string challenge;
+  /// Tie-break preference when several tactics qualify (higher wins).
+  int preference = 0;
+  /// True when equality predicates can be folded into this tactic's
+  /// boolean queries (the paper's §5.1 selects only BIEX for [EQ, BL]).
+  bool boolean_covers_equality = false;
+};
+
+/// Everything a gateway-side tactic implementation receives (the "tactic
+/// commonalities" of §4.2: cloud channel, key management, local repository,
+/// field scope).
+struct GatewayContext {
+  net::RpcClient* cloud = nullptr;         // communication channel to the cloud
+  store::KvStore* local_store = nullptr;   // gateway-side repository (Redis role)
+  kms::KeyManager* kms = nullptr;          // key management integration
+  std::string collection;
+  std::string field;  // empty for collection-scoped (boolean) tactics
+
+  /// Free-form tactic parameters from the gateway configuration (e.g.
+  /// "paillier_modulus_bits"). Tactics read them with param_int().
+  std::map<std::string, std::string> params;
+
+  std::string scope(const std::string& tactic) const {
+    return tactic + "/" + collection + "/" + field;
+  }
+
+  int param_int(const std::string& name, int fallback) const {
+    auto it = params.find(name);
+    return it == params.end() ? fallback : std::stoi(it->second);
+  }
+};
+
+/// Aggregate protocol result (gateway-side, after AggFunctionResolution).
+struct AggregateResult {
+  double value = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Gateway-side strategy for a field-scoped tactic. Unsupported operations
+/// throw Error(kInvalidArgument) from the defaults; the policy engine never
+/// routes an operation to a tactic that does not serve it.
+class FieldTactic {
+ public:
+  virtual ~FieldTactic() = default;
+
+  virtual const TacticDescriptor& descriptor() const = 0;
+
+  /// Mandatory for all tactics (§4.2): key material + index provisioning.
+  virtual void setup() = 0;
+
+  /// Update-protocol hooks, invoked by the middleware core per document.
+  virtual void on_insert(const DocId& id, const doc::Value& value);
+  virtual void on_delete(const DocId& id, const doc::Value& value);
+
+  /// Query protocols.
+  virtual std::vector<DocId> equality_search(const doc::Value& value);
+  virtual std::vector<DocId> range_search(const doc::Value& lo, const doc::Value& hi);
+  virtual AggregateResult aggregate(schema::Aggregate agg);
+
+  /// True when search results are candidates that the middleware core must
+  /// re-verify after document decryption (e.g. RND's scan-everything).
+  virtual bool approximate() const { return false; }
+};
+
+/// Gateway-side strategy for a collection-scoped boolean tactic (BIEX
+/// family): indexes the cross-field keyword set of each document.
+class BooleanTactic {
+ public:
+  virtual ~BooleanTactic() = default;
+
+  virtual const TacticDescriptor& descriptor() const = 0;
+  virtual void setup() = 0;
+
+  virtual void on_insert(const DocId& id, const std::vector<std::string>& keywords) = 0;
+  virtual void on_delete(const DocId& id, const std::vector<std::string>& keywords) = 0;
+
+  /// DNF over opaque keywords; may return false positives when the
+  /// underlying structure is probabilistic (IEX-ZMF) — the middleware core
+  /// re-verifies after decryption.
+  virtual std::vector<DocId> query(const sse::BoolQuery& q) = 0;
+
+  /// True when results can contain false positives.
+  virtual bool approximate() const { return false; }
+};
+
+/// Canonical keyword encoding for SSE tactics: "<field>:<hex(scalar)>".
+std::string field_keyword(const std::string& field, const doc::Value& value);
+
+}  // namespace datablinder::core

@@ -1,0 +1,88 @@
+#include "core/spi.hpp"
+
+#include "common/hex.hpp"
+#include "common/status.hpp"
+
+namespace datablinder::core {
+
+std::string to_string(LeakageLevel level) {
+  switch (level) {
+    case LeakageLevel::kStructure: return "Structure";
+    case LeakageLevel::kIdentifiers: return "Identifiers";
+    case LeakageLevel::kPredicates: return "Predicates";
+    case LeakageLevel::kEqualities: return "Equalities";
+    case LeakageLevel::kOrder: return "Order";
+  }
+  return "?";
+}
+
+std::string to_string(TacticOperation op) {
+  switch (op) {
+    case TacticOperation::kInit: return "init";
+    case TacticOperation::kInsert: return "insert";
+    case TacticOperation::kUpdate: return "update";
+    case TacticOperation::kDelete: return "delete";
+    case TacticOperation::kRead: return "read";
+    case TacticOperation::kEqualitySearch: return "equality_search";
+    case TacticOperation::kBooleanSearch: return "boolean_search";
+    case TacticOperation::kRangeQuery: return "range_query";
+    case TacticOperation::kSum: return "sum";
+    case TacticOperation::kAverage: return "average";
+    case TacticOperation::kCount: return "count";
+    case TacticOperation::kMin: return "min";
+    case TacticOperation::kMax: return "max";
+  }
+  return "?";
+}
+
+std::string to_string(SpiInterface spi) {
+  switch (spi) {
+    case SpiInterface::kInsertion: return "Insertion";
+    case SpiInterface::kDocIdGen: return "DocIDGen";
+    case SpiInterface::kSecureEnc: return "SecureEnc";
+    case SpiInterface::kUpdate: return "Update";
+    case SpiInterface::kRetrieval: return "Retrieval";
+    case SpiInterface::kDeletion: return "Deletion";
+    case SpiInterface::kEqQuery: return "EqQuery";
+    case SpiInterface::kEqResolution: return "EqResolution";
+    case SpiInterface::kBoolQuery: return "BoolQuery";
+    case SpiInterface::kBoolResolution: return "BoolResolution";
+    case SpiInterface::kRangeQuery: return "RangeQuery";
+    case SpiInterface::kRangeResolution: return "RangeResolution";
+    case SpiInterface::kAggFunction: return "AggFunction";
+    case SpiInterface::kAggFunctionResolution: return "AggFunctionResolution";
+    case SpiInterface::kSetup: return "Setup";
+  }
+  return "?";
+}
+
+void FieldTactic::on_insert(const DocId&, const doc::Value&) {
+  throw_error(ErrorCode::kInvalidArgument,
+              descriptor().name + ": insert not supported");
+}
+
+void FieldTactic::on_delete(const DocId&, const doc::Value&) {
+  throw_error(ErrorCode::kInvalidArgument,
+              descriptor().name + ": delete not supported");
+}
+
+std::vector<DocId> FieldTactic::equality_search(const doc::Value&) {
+  throw_error(ErrorCode::kInvalidArgument,
+              descriptor().name + ": equality search not supported");
+}
+
+std::vector<DocId> FieldTactic::range_search(const doc::Value&, const doc::Value&) {
+  throw_error(ErrorCode::kInvalidArgument,
+              descriptor().name + ": range query not supported");
+}
+
+AggregateResult FieldTactic::aggregate(schema::Aggregate) {
+  throw_error(ErrorCode::kInvalidArgument,
+              descriptor().name + ": aggregates not supported");
+}
+
+std::string field_keyword(const std::string& field, const doc::Value& value) {
+  return field + ":" + hex_encode(value.scalar_bytes());
+}
+
+}  // namespace datablinder::core

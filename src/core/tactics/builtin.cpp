@@ -1,0 +1,18 @@
+#include "core/tactics/builtin.hpp"
+
+namespace datablinder::core {
+
+void register_builtin_tactics(TacticRegistry& r) {
+  register_det_tactic(r);
+  register_rnd_tactic(r);
+  register_mitra_tactic(r);
+  register_sophos_tactic(r);
+  register_biex2lev_tactic(r);
+  register_biexzmf_tactic(r);
+  register_ope_tactic(r);
+  register_rangebrc_tactic(r);
+  register_ore_tactic(r);
+  register_paillier_tactic(r);
+}
+
+}  // namespace datablinder::core

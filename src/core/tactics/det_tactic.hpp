@@ -1,0 +1,32 @@
+// DET tactic — equality search on deterministic ciphertexts (Table 2 row 1:
+// Class 4, leaks equalities, 9 gateway / 6 cloud interfaces, implemented
+// from scratch by the paper's authors, as here).
+#pragma once
+
+#include <optional>
+
+#include "core/spi.hpp"
+#include "ppe/det.hpp"
+
+namespace datablinder::core {
+
+class DetTactic final : public FieldTactic {
+ public:
+  explicit DetTactic(GatewayContext ctx) : ctx_(std::move(ctx)) {}
+
+  static const TacticDescriptor& static_descriptor();
+  const TacticDescriptor& descriptor() const override { return static_descriptor(); }
+
+  void setup() override;
+  void on_insert(const DocId& id, const doc::Value& value) override;
+  void on_delete(const DocId& id, const doc::Value& value) override;
+  std::vector<DocId> equality_search(const doc::Value& value) override;
+
+ private:
+  Bytes label(const doc::Value& value) const;
+
+  GatewayContext ctx_;
+  std::optional<ppe::DetCipher> cipher_;
+};
+
+}  // namespace datablinder::core

@@ -1,0 +1,35 @@
+// OPE tactic — range queries on an order-preserving index (Table 2: Class
+// 5, order leakage, 3 gateway / 3 cloud interfaces). Ciphertexts live in a
+// cloud-side ordered map, so range queries are index scans — the efficient,
+// high-leakage end of the trade-off. Also serves min/max aggregates by
+// decoding the index extremes at the gateway.
+#pragma once
+
+#include <optional>
+
+#include "core/spi.hpp"
+#include "ppe/ope.hpp"
+
+namespace datablinder::core {
+
+class OpeTactic final : public FieldTactic {
+ public:
+  explicit OpeTactic(GatewayContext ctx) : ctx_(std::move(ctx)) {}
+
+  static const TacticDescriptor& static_descriptor();
+  const TacticDescriptor& descriptor() const override { return static_descriptor(); }
+
+  void setup() override;
+  void on_insert(const DocId& id, const doc::Value& value) override;
+  void on_delete(const DocId& id, const doc::Value& value) override;
+  std::vector<DocId> range_search(const doc::Value& lo, const doc::Value& hi) override;
+  AggregateResult aggregate(schema::Aggregate agg) override;
+
+ private:
+  Bytes score(const doc::Value& value) const;
+
+  GatewayContext ctx_;
+  std::optional<ppe::OpeCipher> cipher_;
+};
+
+}  // namespace datablinder::core

@@ -1,0 +1,75 @@
+#include "core/tactics/ore_tactic.hpp"
+
+#include "core/tactics/builtin.hpp"
+#include "core/tactics/numeric.hpp"
+#include "core/wire.hpp"
+
+namespace datablinder::core {
+
+using doc::Value;
+
+const TacticDescriptor& OreTactic::static_descriptor() {
+  static const TacticDescriptor d = [] {
+    TacticDescriptor t;
+    t.name = "ORE";
+    t.protection_class = schema::ProtectionClass::kClass5;
+    t.serves_operations = {schema::Operation::kInsert, schema::Operation::kRange};
+    t.operations = {
+        {TacticOperation::kInit, {LeakageLevel::kStructure, "O(1)", 0}},
+        {TacticOperation::kInsert,
+         {LeakageLevel::kStructure, "O(blocks * slots) right-ct build", 1}},
+        {TacticOperation::kDelete, {LeakageLevel::kStructure, "O(1) hash remove", 1}},
+        {TacticOperation::kRangeQuery,
+         {LeakageLevel::kOrder, "O(N) token-vs-right comparisons server-side", 1}},
+    };
+    t.gateway_interfaces = {SpiInterface::kInsertion, SpiInterface::kRangeQuery,
+                            SpiInterface::kRangeResolution};
+    t.cloud_interfaces = {SpiInterface::kInsertion, SpiInterface::kRangeQuery,
+                          SpiInterface::kDeletion};
+    t.challenge = "-";
+    t.preference = 5;
+    return t;
+  }();
+  return d;
+}
+
+void OreTactic::setup() {
+  cipher_.emplace(ctx_.kms->derive(ctx_.scope("ore"), 32),
+                  ctx_.collection + "." + ctx_.field, 64);
+}
+
+void OreTactic::on_insert(const DocId& id, const Value& value) {
+  const auto right = cipher_->encrypt_right(tactics::ordered_key(value));
+  ctx_.cloud->call("ore.insert", wire::pack({{"col", Value(ctx_.collection)},
+                                             {"field", Value(ctx_.field)},
+                                             {"id", Value(id)},
+                                             {"right", Value(right.serialize())}}));
+}
+
+void OreTactic::on_delete(const DocId& id, const Value&) {
+  ctx_.cloud->call("ore.remove", wire::pack({{"col", Value(ctx_.collection)},
+                                             {"field", Value(ctx_.field)},
+                                             {"id", Value(id)}}));
+}
+
+std::vector<DocId> OreTactic::range_search(const Value& lo, const Value& hi) {
+  const auto left_lo = cipher_->encrypt_left(tactics::ordered_key(lo));
+  const auto left_hi = cipher_->encrypt_left(tactics::ordered_key(hi));
+  const Bytes reply =
+      ctx_.cloud->call("ore.range", wire::pack({{"col", Value(ctx_.collection)},
+                                                {"field", Value(ctx_.field)},
+                                                {"left_lo", Value(left_lo.serialize())},
+                                                {"left_hi", Value(left_hi.serialize())}}));
+  const doc::Object obj = wire::unpack(reply);
+  std::vector<DocId> ids;
+  for (const auto& v : wire::get_arr(obj, "ids")) ids.push_back(v.as_string());
+  return ids;
+}
+
+void register_ore_tactic(TacticRegistry& r) {
+  r.register_field_tactic(OreTactic::static_descriptor(), [](const GatewayContext& ctx) {
+    return std::make_unique<OreTactic>(ctx);
+  });
+}
+
+}  // namespace datablinder::core

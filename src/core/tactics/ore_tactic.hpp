@@ -1,0 +1,32 @@
+// ORE tactic — range queries via Lewi–Wu left/right order-revealing
+// encryption (Table 2: Class 5, order leakage, 3 gateway / 3 cloud
+// interfaces). Stored ciphertexts (right) are incomparable to each other;
+// only query tokens (left) reveal order, so the resting index leaks less
+// than OPE — at the price of a linear comparison scan per range query.
+#pragma once
+
+#include <optional>
+
+#include "core/spi.hpp"
+#include "ppe/ore.hpp"
+
+namespace datablinder::core {
+
+class OreTactic final : public FieldTactic {
+ public:
+  explicit OreTactic(GatewayContext ctx) : ctx_(std::move(ctx)) {}
+
+  static const TacticDescriptor& static_descriptor();
+  const TacticDescriptor& descriptor() const override { return static_descriptor(); }
+
+  void setup() override;
+  void on_insert(const DocId& id, const doc::Value& value) override;
+  void on_delete(const DocId& id, const doc::Value& value) override;
+  std::vector<DocId> range_search(const doc::Value& lo, const doc::Value& hi) override;
+
+ private:
+  GatewayContext ctx_;
+  std::optional<ppe::OreCipher> cipher_;
+};
+
+}  // namespace datablinder::core

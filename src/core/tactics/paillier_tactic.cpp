@@ -1,0 +1,121 @@
+#include "core/tactics/paillier_tactic.hpp"
+
+#include <cmath>
+
+#include "core/tactics/builtin.hpp"
+#include "core/wire.hpp"
+
+namespace datablinder::core {
+
+using bigint::BigInt;
+using doc::Value;
+
+const TacticDescriptor& PaillierTactic::static_descriptor() {
+  static const TacticDescriptor d = [] {
+    TacticDescriptor t;
+    t.name = "Paillier";
+    // Semantically secure ciphertexts: nothing beyond structure leaks.
+    t.protection_class = schema::ProtectionClass::kClass1;
+    t.serves_operations = {schema::Operation::kInsert};
+    t.serves_aggregates = {schema::Aggregate::kSum, schema::Aggregate::kAverage,
+                           schema::Aggregate::kCount};
+    t.operations = {
+        {TacticOperation::kInit, {LeakageLevel::kStructure, "Paillier keygen", 1}},
+        {TacticOperation::kInsert,
+         {LeakageLevel::kStructure, "1 Paillier encryption (2 modexp)", 1}},
+        {TacticOperation::kSum,
+         {LeakageLevel::kStructure, "O(N) modmul fold cloud-side + 1 decrypt", 1}},
+        {TacticOperation::kAverage,
+         {LeakageLevel::kStructure, "sum protocol + gateway division", 1}},
+    };
+    t.gateway_interfaces = {SpiInterface::kSetup, SpiInterface::kInsertion,
+                            SpiInterface::kAggFunctionResolution};
+    t.cloud_interfaces = {SpiInterface::kSetup, SpiInterface::kInsertion,
+                          SpiInterface::kAggFunction};
+    t.challenge = "Key management";
+    t.preference = 10;
+    return t;
+  }();
+  return d;
+}
+
+void PaillierTactic::setup() {
+  const std::string key_slot = "paillier-keys:" + ctx_.scope("paillier");
+  if (auto stored = ctx_.local_store->get(key_slot)) {
+    // Recover a previously generated keypair: n || lambda || mu, each
+    // length-prefixed.
+    std::size_t off = 0;
+    auto take = [&]() {
+      const std::size_t n = read_be32(BytesView(*stored).subspan(off));
+      off += 4;
+      BigInt v = BigInt::from_bytes(BytesView(*stored).subspan(off, n));
+      off += n;
+      return v;
+    };
+    phe::PaillierKeyPair kp;
+    kp.pub.n = take();
+    kp.pub.n_squared = kp.pub.n * kp.pub.n;
+    kp.priv.lambda = take();
+    kp.priv.mu = take();
+    kp.priv.pub = kp.pub;
+    keys_ = std::move(kp);
+  } else {
+    const int bits = ctx_.param_int("paillier_modulus_bits", 512);
+    keys_ = phe::paillier_generate(static_cast<std::size_t>(bits));
+    Bytes blob;
+    auto put = [&](const BigInt& v) {
+      const Bytes b = v.to_bytes();
+      append(blob, be32(static_cast<std::uint32_t>(b.size())));
+      append(blob, b);
+    };
+    put(keys_->pub.n);
+    put(keys_->priv.lambda);
+    put(keys_->priv.mu);
+    ctx_.local_store->set(key_slot, std::move(blob));
+  }
+  ctx_.cloud->call("agg.setup", wire::pack({{"scope", Value(ctx_.scope("paillier"))},
+                                            {"n", Value(keys_->pub.n.to_bytes())}}));
+}
+
+void PaillierTactic::on_insert(const DocId& id, const Value& value) {
+  const auto fixed = static_cast<std::int64_t>(
+      std::llround(value.as_double() * static_cast<double>(kFixedPointScale)));
+  const BigInt ct = keys_->pub.encrypt_i64(fixed);
+  ctx_.cloud->call("agg.insert", wire::pack({{"scope", Value(ctx_.scope("paillier"))},
+                                             {"id", Value(id)},
+                                             {"ct", Value(ct.to_bytes())}}));
+}
+
+void PaillierTactic::on_delete(const DocId& id, const Value&) {
+  ctx_.cloud->call("agg.remove", wire::pack({{"scope", Value(ctx_.scope("paillier"))},
+                                             {"id", Value(id)}}));
+}
+
+AggregateResult PaillierTactic::aggregate(schema::Aggregate agg) {
+  const Bytes reply = ctx_.cloud->call(
+      "agg.sum", wire::pack({{"scope", Value(ctx_.scope("paillier"))}}));
+  const doc::Object obj = wire::unpack(reply);
+  AggregateResult out;
+  out.count = static_cast<std::uint64_t>(wire::get_int(obj, "count"));
+  if (agg == schema::Aggregate::kCount) {
+    out.value = static_cast<double>(out.count);
+    return out;
+  }
+  if (out.count == 0) return out;
+  const BigInt sum_ct = BigInt::from_bytes(wire::get_bin(obj, "sum_ct"));
+  const double sum = static_cast<double>(keys_->priv.decrypt(sum_ct).to_i64()) /
+                     static_cast<double>(kFixedPointScale);
+  out.value = (agg == schema::Aggregate::kAverage)
+                  ? sum / static_cast<double>(out.count)
+                  : sum;
+  return out;
+}
+
+void register_paillier_tactic(TacticRegistry& r) {
+  r.register_field_tactic(PaillierTactic::static_descriptor(),
+                          [](const GatewayContext& ctx) {
+                            return std::make_unique<PaillierTactic>(ctx);
+                          });
+}
+
+}  // namespace datablinder::core

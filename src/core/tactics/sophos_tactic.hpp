@@ -1,0 +1,36 @@
+// Sophos tactic — forward-private equality search from an RSA trapdoor
+// permutation (Table 2: Class 2, identifiers leakage, 6 gateway / 4 cloud
+// interfaces, challenge = key management). Append-only: the construction
+// has no deletion protocol, so delete attempts fail loudly. The per-keyword
+// token-chain state lives at the gateway — the very statefulness the
+// paper's conclusion flags as the obstacle to cloud-native deployment.
+#pragma once
+
+#include <optional>
+
+#include "core/spi.hpp"
+#include "sse/sophos.hpp"
+
+namespace datablinder::core {
+
+class SophosTactic final : public FieldTactic {
+ public:
+  explicit SophosTactic(GatewayContext ctx) : ctx_(std::move(ctx)) {}
+
+  static const TacticDescriptor& static_descriptor();
+  const TacticDescriptor& descriptor() const override { return static_descriptor(); }
+
+  /// Generates the RSA trapdoor (param "sophos_modulus_bits", default 768)
+  /// and ships the public permutation to the cloud.
+  void setup() override;
+  void on_insert(const DocId& id, const doc::Value& value) override;
+  /// Throws: Sophos is append-only.
+  void on_delete(const DocId& id, const doc::Value& value) override;
+  std::vector<DocId> equality_search(const doc::Value& value) override;
+
+ private:
+  GatewayContext ctx_;
+  std::optional<sse::SophosClient> client_;
+};
+
+}  // namespace datablinder::core

@@ -1,0 +1,42 @@
+// AES-128/192/256 block cipher (FIPS 197).
+//
+// Portable table-free S-box implementation; the modes built on top (CTR,
+// GCM, SIV) only require the forward direction, but the inverse cipher is
+// provided for completeness of the primitive library.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace datablinder::crypto {
+
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Key must be 16, 24 or 32 bytes; throws Error(kInvalidArgument) otherwise.
+  explicit Aes(BytesView key);
+
+  /// Encrypts one 16-byte block in place.
+  void encrypt_block(std::uint8_t block[kBlockSize]) const;
+
+  /// Decrypts one 16-byte block in place.
+  void decrypt_block(std::uint8_t block[kBlockSize]) const;
+
+  /// Convenience: encrypt a single block by value.
+  std::array<std::uint8_t, kBlockSize> encrypt(
+      const std::array<std::uint8_t, kBlockSize>& in) const;
+
+  std::size_t rounds() const noexcept { return rounds_; }
+
+ private:
+  void expand_key(BytesView key);
+
+  // Round keys: (rounds_+1) * 16 bytes.
+  std::array<std::uint8_t, 15 * kBlockSize> round_keys_{};
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace datablinder::crypto

@@ -1,0 +1,21 @@
+// AES-CTR keystream mode (NIST SP 800-38A).
+//
+// Used directly by the SIV construction and as the confidentiality layer
+// inside GCM (which is CTR with a GHASH tag).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/aes.hpp"
+
+namespace datablinder::crypto {
+
+/// Encrypts/decrypts `data` in place with AES-CTR. The 16-byte `counter0`
+/// is the initial counter block; it is incremented big-endian per block.
+void aes_ctr_xcrypt(const Aes& aes, std::array<std::uint8_t, Aes::kBlockSize> counter0,
+                    std::span<std::uint8_t> data);
+
+/// Convenience returning a new buffer.
+Bytes aes_ctr(const Aes& aes, const std::array<std::uint8_t, Aes::kBlockSize>& counter0,
+              BytesView data);
+
+}  // namespace datablinder::crypto

@@ -1,0 +1,45 @@
+// AES-GCM authenticated encryption (NIST SP 800-38D).
+//
+// This is the RND tactic's cipher and the general-purpose AEAD for
+// document payloads: probabilistic, tamper-evident, with optional
+// associated data (used to bind ciphertexts to document ids).
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/aes.hpp"
+
+namespace datablinder::crypto {
+
+class AesGcm {
+ public:
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kTagSize = 16;
+
+  /// Key must be 16, 24 or 32 bytes.
+  explicit AesGcm(BytesView key);
+
+  /// Encrypts with a caller-provided 12-byte nonce. Output layout is
+  /// ciphertext || tag. Nonces MUST be unique per key.
+  Bytes seal(BytesView nonce, BytesView plaintext, BytesView aad = {}) const;
+
+  /// Encrypts with a fresh random nonce; output is nonce || ciphertext || tag.
+  Bytes seal_random_nonce(BytesView plaintext, BytesView aad = {}) const;
+
+  /// Decrypts ciphertext || tag. Returns nullopt on authentication failure.
+  std::optional<Bytes> open(BytesView nonce, BytesView sealed, BytesView aad = {}) const;
+
+  /// Decrypts nonce || ciphertext || tag produced by seal_random_nonce.
+  std::optional<Bytes> open_with_nonce(BytesView sealed, BytesView aad = {}) const;
+
+ private:
+  Bytes ghash(BytesView aad, BytesView ciphertext) const;
+
+  Aes aes_;
+  // GHASH subkey H = AES_K(0^128), stored as two 64-bit halves.
+  std::uint64_t h_hi_ = 0;
+  std::uint64_t h_lo_ = 0;
+};
+
+}  // namespace datablinder::crypto

@@ -1,0 +1,39 @@
+#include "crypto/hkdf.hpp"
+
+#include "common/status.hpp"
+#include "crypto/hmac.hpp"
+
+namespace datablinder::crypto {
+
+Bytes hkdf_extract(BytesView salt, BytesView ikm) {
+  if (salt.empty()) {
+    const Bytes zero(HmacSha256::kTagSize, 0);
+    return HmacSha256::mac(zero, ikm);
+  }
+  return HmacSha256::mac(salt, ikm);
+}
+
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length) {
+  require(length <= 255 * HmacSha256::kTagSize, "hkdf_expand: length too large");
+  Bytes out;
+  out.reserve(length);
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    HmacSha256 h(prk);
+    h.update(t);
+    h.update(info);
+    h.update({&counter, 1});
+    t = h.finalize();
+    const std::size_t take = std::min(t.size(), length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+    ++counter;
+  }
+  return out;
+}
+
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+}  // namespace datablinder::crypto

@@ -1,0 +1,22 @@
+// HKDF-SHA256 (RFC 5869) — extract-and-expand key derivation.
+//
+// The KMS derives every tactic-scoped key from the master key via HKDF
+// with a per-tactic info string, mirroring the paper's "key management
+// integration" tactic commonality.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace datablinder::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Bytes hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand: derives `length` bytes from PRK and context `info`.
+/// Requires length <= 255 * 32.
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length);
+
+/// Combined extract+expand.
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length);
+
+}  // namespace datablinder::crypto

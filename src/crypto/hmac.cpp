@@ -1,0 +1,44 @@
+#include "crypto/hmac.hpp"
+
+namespace datablinder::crypto {
+
+HmacSha256::HmacSha256(BytesView key) {
+  Bytes k(key.begin(), key.end());
+  if (k.size() > Sha256::kBlockSize) k = Sha256::digest(k);
+  k.resize(Sha256::kBlockSize, 0);
+
+  inner_pad_.resize(Sha256::kBlockSize);
+  outer_pad_.resize(Sha256::kBlockSize);
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    inner_pad_[i] = k[i] ^ 0x36;
+    outer_pad_[i] = k[i] ^ 0x5c;
+  }
+  reset();
+}
+
+void HmacSha256::reset() {
+  inner_.reset();
+  inner_.update(inner_pad_);
+}
+
+void HmacSha256::update(BytesView data) { inner_.update(data); }
+
+Bytes HmacSha256::finalize() {
+  const Bytes inner_digest = inner_.finalize();
+  Sha256 outer;
+  outer.update(outer_pad_);
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+Bytes HmacSha256::mac(BytesView key, BytesView data) {
+  HmacSha256 h(key);
+  h.update(data);
+  return h.finalize();
+}
+
+bool HmacSha256::verify(BytesView key, BytesView data, BytesView tag) {
+  return ct_equal(mac(key, data), tag);
+}
+
+}  // namespace datablinder::crypto

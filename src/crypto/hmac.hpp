@@ -1,0 +1,35 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//
+// The workhorse PRF of the library: SSE token derivation, DET synthetic
+// IVs and KMS key derivation are all built on it.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace datablinder::crypto {
+
+class HmacSha256 {
+ public:
+  static constexpr std::size_t kTagSize = Sha256::kDigestSize;
+
+  /// Keys of any length are accepted (hashed down if > block size).
+  explicit HmacSha256(BytesView key);
+
+  void update(BytesView data);
+  Bytes finalize();
+  void reset();
+
+  /// One-shot MAC.
+  static Bytes mac(BytesView key, BytesView data);
+
+  /// Constant-time verification of a full-length tag.
+  static bool verify(BytesView key, BytesView data, BytesView tag);
+
+ private:
+  Bytes inner_pad_;
+  Bytes outer_pad_;
+  Sha256 inner_;
+};
+
+}  // namespace datablinder::crypto

@@ -1,0 +1,37 @@
+#include "crypto/prf.hpp"
+
+#include "crypto/hkdf.hpp"
+#include "crypto/hmac.hpp"
+
+namespace datablinder::crypto {
+
+Bytes prf(BytesView key, BytesView input) { return HmacSha256::mac(key, input); }
+
+Bytes prf_labeled(BytesView key, std::string_view label, BytesView input) {
+  HmacSha256 h(key);
+  h.update(to_bytes(label));
+  const std::uint8_t sep = 0;
+  h.update({&sep, 1});
+  h.update(input);
+  return h.finalize();
+}
+
+Bytes prf_n(BytesView key, BytesView input, std::size_t n) {
+  if (n <= HmacSha256::kTagSize) {
+    Bytes out = prf(key, input);
+    out.resize(n);
+    return out;
+  }
+  return hkdf_expand(prf(key, input), to_bytes("prf_n"), n);
+}
+
+std::uint64_t prf_u64(BytesView key, BytesView input) {
+  return read_be64(prf(key, input));
+}
+
+std::uint64_t prf_mod(BytesView key, BytesView input, std::uint64_t bound) {
+  // Bias is negligible for bound << 2^64 (all library uses are tiny bounds).
+  return prf_u64(key, input) % bound;
+}
+
+}  // namespace datablinder::crypto

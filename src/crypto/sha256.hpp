@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4).
+//
+// Incremental hashing interface plus a one-shot helper. Used as the base
+// primitive for HMAC, HKDF and SSE keyword hashing throughout the library.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace datablinder::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Absorbs more input.
+  void update(BytesView data);
+
+  /// Finalizes and returns the 32-byte digest. The object must be reset()
+  /// before reuse.
+  Bytes finalize();
+
+  /// Re-initializes the state for a fresh computation.
+  void reset();
+
+  /// One-shot convenience.
+  static Bytes digest(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffer_len_;
+  std::uint64_t total_len_;
+};
+
+}  // namespace datablinder::crypto

@@ -1,0 +1,35 @@
+// Deterministic authenticated encryption (SIV construction, RFC 5297 style
+// with HMAC-SHA256 as the S2V PRF).
+//
+// This is the DET tactic's cipher: equal plaintexts under the same key and
+// associated data produce equal ciphertexts, enabling server-side equality
+// matching at the cost of leaking equality (protection Class 4).
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace datablinder::crypto {
+
+class AesSiv {
+ public:
+  static constexpr std::size_t kIvSize = 16;
+
+  /// Key must be 32 bytes; it is split into a MAC half and a CTR half.
+  explicit AesSiv(BytesView key);
+
+  /// Deterministic encryption: output = SIV || ciphertext.
+  Bytes seal(BytesView plaintext, BytesView aad = {}) const;
+
+  /// Returns nullopt if the synthetic IV does not authenticate.
+  std::optional<Bytes> open(BytesView sealed, BytesView aad = {}) const;
+
+ private:
+  Bytes compute_siv(BytesView plaintext, BytesView aad) const;
+
+  Bytes mac_key_;
+  Bytes enc_key_;
+};
+
+}  // namespace datablinder::crypto

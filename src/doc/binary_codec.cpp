@@ -1,0 +1,193 @@
+#include "doc/binary_codec.hpp"
+
+#include "common/status.hpp"
+
+namespace datablinder::doc {
+
+namespace {
+enum Tag : std::uint8_t {
+  kTagNull = 0,
+  kTagFalse = 1,
+  kTagTrue = 2,
+  kTagInt = 3,
+  kTagDouble = 4,
+  kTagString = 5,
+  kTagBinary = 6,
+  kTagArray = 7,
+  kTagObject = 8,
+};
+
+void encode_len(Bytes& out, std::size_t n) {
+  append(out, be32(static_cast<std::uint32_t>(n)));
+}
+
+std::size_t decode_len(BytesView b, std::size_t& offset) {
+  if (offset + 4 > b.size()) {
+    throw_error(ErrorCode::kProtocolError, "binary_codec: truncated length");
+  }
+  const std::size_t n = read_be32(b.subspan(offset));
+  offset += 4;
+  return n;
+}
+
+void need(BytesView b, std::size_t offset, std::size_t n) {
+  if (offset + n > b.size()) {
+    throw_error(ErrorCode::kProtocolError, "binary_codec: truncated payload");
+  }
+}
+}  // namespace
+
+void encode_value(Bytes& out, const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      out.push_back(kTagNull);
+      return;
+    case ValueType::kBool:
+      out.push_back(v.as_bool() ? kTagTrue : kTagFalse);
+      return;
+    case ValueType::kInt:
+      out.push_back(kTagInt);
+      append(out, be64(static_cast<std::uint64_t>(v.as_int())));
+      return;
+    case ValueType::kDouble: {
+      out.push_back(kTagDouble);
+      const double d = v.as_double();
+      std::uint64_t bits;
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      append(out, be64(bits));
+      return;
+    }
+    case ValueType::kString: {
+      out.push_back(kTagString);
+      const auto& s = v.as_string();
+      encode_len(out, s.size());
+      append(out, to_bytes(s));
+      return;
+    }
+    case ValueType::kBinary: {
+      out.push_back(kTagBinary);
+      encode_len(out, v.as_binary().size());
+      append(out, v.as_binary());
+      return;
+    }
+    case ValueType::kArray: {
+      out.push_back(kTagArray);
+      encode_len(out, v.as_array().size());
+      for (const auto& e : v.as_array()) encode_value(out, e);
+      return;
+    }
+    case ValueType::kObject: {
+      out.push_back(kTagObject);
+      encode_len(out, v.as_object().size());
+      for (const auto& [k, val] : v.as_object()) {
+        encode_len(out, k.size());
+        append(out, to_bytes(k));
+        encode_value(out, val);
+      }
+      return;
+    }
+  }
+}
+
+Bytes encode_value(const Value& v) {
+  Bytes out;
+  encode_value(out, v);
+  return out;
+}
+
+Value decode_value(BytesView b, std::size_t& offset) {
+  need(b, offset, 1);
+  const auto tag = static_cast<Tag>(b[offset++]);
+  switch (tag) {
+    case kTagNull: return Value(nullptr);
+    case kTagFalse: return Value(false);
+    case kTagTrue: return Value(true);
+    case kTagInt: {
+      need(b, offset, 8);
+      const auto v = static_cast<std::int64_t>(read_be64(b.subspan(offset)));
+      offset += 8;
+      return Value(v);
+    }
+    case kTagDouble: {
+      need(b, offset, 8);
+      const std::uint64_t bits = read_be64(b.subspan(offset));
+      offset += 8;
+      double d;
+      __builtin_memcpy(&d, &bits, sizeof(d));
+      return Value(d);
+    }
+    case kTagString: {
+      const std::size_t n = decode_len(b, offset);
+      need(b, offset, n);
+      std::string s(reinterpret_cast<const char*>(b.data() + offset), n);
+      offset += n;
+      return Value(std::move(s));
+    }
+    case kTagBinary: {
+      const std::size_t n = decode_len(b, offset);
+      need(b, offset, n);
+      Bytes bin(b.begin() + static_cast<std::ptrdiff_t>(offset),
+                b.begin() + static_cast<std::ptrdiff_t>(offset + n));
+      offset += n;
+      return Value(std::move(bin));
+    }
+    case kTagArray: {
+      const std::size_t n = decode_len(b, offset);
+      // Each element occupies at least one byte: reject forged counts
+      // before reserving (a hostile length field must not drive allocation).
+      need(b, offset, n);
+      Array arr;
+      arr.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) arr.push_back(decode_value(b, offset));
+      return Value(std::move(arr));
+    }
+    case kTagObject: {
+      const std::size_t n = decode_len(b, offset);
+      need(b, offset, n);  // >= 1 byte per member: bounds the loop up front
+      Object obj;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t klen = decode_len(b, offset);
+        need(b, offset, klen);
+        std::string key(reinterpret_cast<const char*>(b.data() + offset), klen);
+        offset += klen;
+        obj[std::move(key)] = decode_value(b, offset);
+      }
+      return Value(std::move(obj));
+    }
+  }
+  throw_error(ErrorCode::kProtocolError, "binary_codec: unknown tag");
+}
+
+Value decode_value(BytesView b) {
+  std::size_t offset = 0;
+  Value v = decode_value(b, offset);
+  if (offset != b.size()) {
+    throw_error(ErrorCode::kProtocolError, "binary_codec: trailing bytes");
+  }
+  return v;
+}
+
+Bytes encode_document(const Document& d) {
+  Bytes out;
+  encode_len(out, d.id.size());
+  append(out, to_bytes(d.id));
+  encode_value(out, Value(d.fields));
+  return out;
+}
+
+Document decode_document(BytesView b) {
+  std::size_t offset = 0;
+  const std::size_t idlen = decode_len(b, offset);
+  need(b, offset, idlen);
+  Document d;
+  d.id.assign(reinterpret_cast<const char*>(b.data() + offset), idlen);
+  offset += idlen;
+  Value fields = decode_value(b, offset);
+  if (offset != b.size()) {
+    throw_error(ErrorCode::kProtocolError, "binary_codec: trailing bytes");
+  }
+  d.fields = fields.as_object();
+  return d;
+}
+
+}  // namespace datablinder::doc

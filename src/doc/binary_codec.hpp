@@ -1,0 +1,25 @@
+// Binary codec for the document model — the wire format between the
+// gateway and the cloud node (compact, lossless, including binary values).
+#pragma once
+
+#include "doc/value.hpp"
+
+namespace datablinder::doc {
+
+/// Appends the encoded value to `out`.
+void encode_value(Bytes& out, const Value& v);
+
+/// Encoded form as a fresh buffer.
+Bytes encode_value(const Value& v);
+
+/// Decodes one value starting at `offset`; advances `offset` past it.
+/// Throws Error(kProtocolError) on malformed input.
+Value decode_value(BytesView b, std::size_t& offset);
+
+/// Decodes a buffer that contains exactly one value.
+Value decode_value(BytesView b);
+
+Bytes encode_document(const Document& d);
+Document decode_document(BytesView b);
+
+}  // namespace datablinder::doc

@@ -1,0 +1,27 @@
+// JSON text codec for the document model.
+//
+// Binary values round-trip as {"$bin": "<hex>"} wrapper objects, mirroring
+// how BSON-style stores extend JSON. Used by examples, the FHIR generator
+// and debugging; the wire protocol uses the binary codec instead.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "doc/value.hpp"
+
+namespace datablinder::doc {
+
+/// Serializes a value as compact JSON.
+std::string to_json(const Value& v);
+
+/// Serializes a document as {"id": ..., ...fields}.
+std::string to_json(const Document& d);
+
+/// Parses JSON text. Throws Error(kInvalidArgument) on malformed input.
+Value parse_json(std::string_view text);
+
+/// Parses a document: a JSON object whose "id" member (string) is split out.
+Document parse_document_json(std::string_view text);
+
+}  // namespace datablinder::doc

@@ -1,0 +1,86 @@
+// Document value model.
+//
+// DataBlinder operates on schemaless-looking documents (the paper stores
+// FHIR JSON in MongoDB); `Value` is a JSON-superset variant — it adds a
+// first-class binary type so ciphertexts embed without base64 overhead on
+// the in-process path. `Document` is an ordered field map with an `id`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace datablinder::doc {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+enum class ValueType { kNull, kBool, kInt, kDouble, kString, kBinary, kArray, kObject };
+
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}                     // NOLINT
+  Value(bool b) : data_(b) {}                                   // NOLINT
+  Value(std::int64_t i) : data_(i) {}                           // NOLINT
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}         // NOLINT
+  Value(double d) : data_(d) {}                                 // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}                 // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}               // NOLINT
+  Value(Bytes b) : data_(std::move(b)) {}                       // NOLINT
+  Value(Array a) : data_(std::move(a)) {}                       // NOLINT
+  Value(Object o) : data_(std::move(o)) {}                      // NOLINT
+
+  ValueType type() const noexcept;
+  bool is_null() const noexcept { return type() == ValueType::kNull; }
+
+  /// Typed accessors; each throws Error(kInvalidArgument) on type mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;   // accepts int too (widening)
+  const std::string& as_string() const;
+  const Bytes& as_binary() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& as_array();
+  Object& as_object();
+
+  /// Canonical byte encoding of a scalar for encryption/keyword derivation.
+  /// Type-tagged so int 5 and string "5" never collide.
+  Bytes scalar_bytes() const;
+
+  /// Human-readable rendering (JSON-ish) for logs and examples.
+  std::string to_display() const;
+
+  bool operator==(const Value& rhs) const = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Bytes, Array,
+               Object>
+      data_;
+};
+
+/// A stored document: id plus fields. Field order is stable (std::map) so
+/// serialization is canonical.
+struct Document {
+  std::string id;
+  Object fields;
+
+  bool has(const std::string& field) const { return fields.count(field) > 0; }
+
+  /// Throws Error(kNotFound) if absent.
+  const Value& at(const std::string& field) const;
+
+  void set(std::string field, Value v) { fields[std::move(field)] = std::move(v); }
+
+  bool operator==(const Document& rhs) const = default;
+};
+
+}  // namespace datablinder::doc

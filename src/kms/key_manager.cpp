@@ -1,0 +1,46 @@
+#include "kms/key_manager.hpp"
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "crypto/hkdf.hpp"
+
+namespace datablinder::kms {
+
+KeyManager::KeyManager() : master_(SecureRng::bytes(32)) {}
+
+KeyManager::KeyManager(Bytes master_key) : master_(std::move(master_key)) {
+  require(master_.size() >= 16, "KeyManager: master key too short");
+}
+
+Bytes KeyManager::derive(const std::string& scope, std::size_t length) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t ep = epochs_[scope];
+  const std::string cache_key =
+      scope + "#" + std::to_string(ep) + "#" + std::to_string(length);
+  auto it = cache_.find(cache_key);
+  if (it != cache_.end()) return it->second;
+
+  Bytes info = to_bytes(scope);
+  append(info, be64(ep));
+  Bytes key = crypto::hkdf(to_bytes("datablinder-kms"), master_, info, length);
+  cache_.emplace(cache_key, key);
+  return key;
+}
+
+std::uint64_t KeyManager::rotate(const std::string& scope) {
+  std::lock_guard lock(mutex_);
+  return ++epochs_[scope];
+}
+
+std::uint64_t KeyManager::epoch(const std::string& scope) const {
+  std::lock_guard lock(mutex_);
+  auto it = epochs_.find(scope);
+  return it == epochs_.end() ? 0 : it->second;
+}
+
+std::size_t KeyManager::scope_count() const {
+  std::lock_guard lock(mutex_);
+  return epochs_.size();
+}
+
+}  // namespace datablinder::kms

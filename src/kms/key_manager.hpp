@@ -1,0 +1,47 @@
+// Key management — the "Keys" interface of the deployment view (Fig. 3).
+//
+// Stands in for the on-premise HSM the paper integrates with: a master
+// key from which every tactic-scoped key is derived via HKDF with a
+// structured info string ("<tactic>/<collection>/<field>/<epoch>").
+// Rotation bumps an epoch counter per scope; derived keys are cached and
+// never leave the trusted zone.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+
+namespace datablinder::kms {
+
+class KeyManager {
+ public:
+  /// Fresh random master key.
+  KeyManager();
+
+  /// Deterministic master key (tests / multi-process sharing).
+  explicit KeyManager(Bytes master_key);
+
+  /// Derives (and caches) a key of `length` bytes for a scope string such
+  /// as "det/observations/status". Stable across calls until rotated.
+  Bytes derive(const std::string& scope, std::size_t length = 32);
+
+  /// Bumps the scope's epoch: subsequent derive() calls return a fresh key.
+  /// Returns the new epoch.
+  std::uint64_t rotate(const std::string& scope);
+
+  std::uint64_t epoch(const std::string& scope) const;
+
+  /// Number of distinct derived scopes (for observability).
+  std::size_t scope_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Bytes master_;
+  std::unordered_map<std::string, std::uint64_t> epochs_;
+  std::unordered_map<std::string, Bytes> cache_;  // "<scope>#<epoch>#<len>"
+};
+
+}  // namespace datablinder::kms

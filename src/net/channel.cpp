@@ -1,0 +1,46 @@
+#include "net/channel.hpp"
+
+#include <chrono>
+#include <random>
+#include <thread>
+
+#include "common/status.hpp"
+
+namespace datablinder::net {
+
+void Channel::simulate_delay(std::size_t bytes) const {
+  std::uint64_t delay_us = config_.one_way_latency_us;
+  if (config_.bandwidth_bytes_per_sec > 0) {
+    delay_us += static_cast<std::uint64_t>(bytes) * 1000000ULL /
+                config_.bandwidth_bytes_per_sec;
+  }
+  if (delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+}
+
+void Channel::maybe_fail() const {
+  if (closed_) throw_error(ErrorCode::kUnavailable, "channel closed");
+  if (config_.failure_probability > 0.0) {
+    thread_local std::mt19937_64 rng{std::random_device{}()};
+    if (std::uniform_real_distribution<double>(0.0, 1.0)(rng) <
+        config_.failure_probability) {
+      throw_error(ErrorCode::kUnavailable, "injected channel fault");
+    }
+  }
+}
+
+void Channel::transfer_request(std::size_t bytes) {
+  maybe_fail();
+  stats_.bytes_sent += bytes;
+  stats_.round_trips += 1;
+  simulate_delay(bytes);
+}
+
+void Channel::transfer_response(std::size_t bytes) {
+  maybe_fail();
+  stats_.bytes_received += bytes;
+  simulate_delay(bytes);
+}
+
+}  // namespace datablinder::net

@@ -1,0 +1,71 @@
+// Simulated network channel between the trusted gateway and an untrusted
+// cloud endpoint.
+//
+// The paper's deployment runs the gateway on a private OpenStack cloud and
+// the cloud mode on a public provider; SE tactics are inherently
+// distributed, so every protocol step crosses this channel. The simulation
+// preserves what the evaluation depends on: round-trip structure, byte
+// volumes (a tactic performance metric in Fig. 1), configurable latency
+// and bandwidth, and injectable faults for failure testing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace datablinder::net {
+
+struct ChannelConfig {
+  /// One-way propagation delay, applied twice per round trip.
+  std::uint64_t one_way_latency_us = 0;
+  /// Bytes per second in each direction; 0 = unlimited.
+  std::uint64_t bandwidth_bytes_per_sec = 0;
+  /// Probability in [0,1] that a call fails with kUnavailable (fault
+  /// injection for tests). Uses a cheap thread-local generator.
+  double failure_probability = 0.0;
+};
+
+/// Byte/round-trip accounting — the "network overhead" performance metrics
+/// of the tactic abstraction model (Fig. 1).
+struct ChannelStats {
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> bytes_received{0};
+  std::atomic<std::uint64_t> round_trips{0};
+
+  void reset() {
+    bytes_sent = 0;
+    bytes_received = 0;
+    round_trips = 0;
+  }
+};
+
+class Channel {
+ public:
+  explicit Channel(ChannelConfig config = {}) : config_(config) {}
+
+  /// Accounts for and delays one request/response exchange. Throws
+  /// Error(kUnavailable) when a fault fires or the channel is closed.
+  /// Called by the RPC client around the server dispatch.
+  void transfer_request(std::size_t bytes);
+  void transfer_response(std::size_t bytes);
+
+  void close() noexcept { closed_ = true; }
+  void reopen() noexcept { closed_ = false; }
+  bool closed() const noexcept { return closed_; }
+
+  void set_config(const ChannelConfig& config) { config_ = config; }
+  const ChannelConfig& config() const noexcept { return config_; }
+
+  ChannelStats& stats() noexcept { return stats_; }
+
+ private:
+  void simulate_delay(std::size_t bytes) const;
+  void maybe_fail() const;
+
+  ChannelConfig config_;
+  ChannelStats stats_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace datablinder::net

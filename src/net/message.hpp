@@ -1,0 +1,37 @@
+// Wire messages between the gateway (trusted zone) and cloud nodes
+// (untrusted zone).
+//
+// A request names a method and carries an opaque payload; a response is
+// either a payload or a typed error. Framing is length-prefixed so the
+// same bytes could run over a real socket unchanged.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace datablinder::net {
+
+struct Request {
+  std::string method;
+  Bytes payload;
+
+  Bytes serialize() const;
+  static Request deserialize(BytesView b);
+};
+
+struct Response {
+  bool ok = true;
+  ErrorCode error = ErrorCode::kInternal;  // meaningful when !ok
+  std::string error_message;               // meaningful when !ok
+  Bytes payload;                           // meaningful when ok
+
+  static Response success(Bytes payload);
+  static Response failure(ErrorCode code, std::string message);
+
+  Bytes serialize() const;
+  static Response deserialize(BytesView b);
+};
+
+}  // namespace datablinder::net

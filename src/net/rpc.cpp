@@ -1,0 +1,183 @@
+#include "net/rpc.hpp"
+
+namespace datablinder::net {
+
+void RpcServer::register_method(const std::string& method, Handler handler) {
+  std::lock_guard lock(mutex_);
+  if (handlers_.count(method)) {
+    throw_error(ErrorCode::kAlreadyExists, "rpc: duplicate method " + method);
+  }
+  handlers_.emplace(method, std::move(handler));
+}
+
+Response RpcServer::dispatch(const Request& request) const noexcept {
+  Handler handler;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = handlers_.find(request.method);
+    if (it == handlers_.end()) {
+      return Response::failure(ErrorCode::kNotFound,
+                               "rpc: unknown method " + request.method);
+    }
+    handler = it->second;
+  }
+  try {
+    return Response::success(handler(request.payload));
+  } catch (const Error& e) {
+    return Response::failure(e.code(), e.what());
+  } catch (const std::exception& e) {
+    return Response::failure(ErrorCode::kInternal, e.what());
+  }
+}
+
+std::size_t RpcServer::method_count() const {
+  std::lock_guard lock(mutex_);
+  return handlers_.size();
+}
+
+namespace {
+// Per-(thread, client) deferred sections. Keyed by client so independent
+// gateway stacks in one process never cross-contaminate.
+thread_local std::unordered_map<const void*, std::unique_ptr<void, void (*)(void*)>>*
+    t_deferred_erased = nullptr;
+}  // namespace
+
+RpcClient::Deferred* RpcClient::deferred_slot() const noexcept {
+  if (t_deferred_erased == nullptr) return nullptr;
+  auto it = t_deferred_erased->find(this);
+  if (it == t_deferred_erased->end()) return nullptr;
+  return static_cast<Deferred*>(it->second.get());
+}
+
+void RpcClient::begin_deferred(std::set<std::string> deferrable_methods) {
+  if (deferred_slot() != nullptr) {
+    throw_error(ErrorCode::kInvalidArgument, "rpc: deferred section already active");
+  }
+  if (t_deferred_erased == nullptr) {
+    // Leaked intentionally at thread exit granularity: tiny and bounded by
+    // the number of live RpcClient instances a thread batches against.
+    t_deferred_erased =
+        new std::unordered_map<const void*, std::unique_ptr<void, void (*)(void*)>>();
+  }
+  auto* d = new Deferred{std::move(deferrable_methods), {}};
+  t_deferred_erased->emplace(
+      this, std::unique_ptr<void, void (*)(void*)>(
+                d, [](void* p) { delete static_cast<Deferred*>(p); }));
+}
+
+std::size_t RpcClient::flush_deferred() {
+  Deferred* d = deferred_slot();
+  if (d == nullptr) {
+    throw_error(ErrorCode::kInvalidArgument, "rpc: no deferred section active");
+  }
+  // Move the queue out and end the section before any network activity so
+  // error paths cannot leave a dangling section.
+  std::vector<Request> queue = std::move(d->queue);
+  t_deferred_erased->erase(this);
+  if (queue.empty()) return 0;
+
+  // Encode: count, then length-prefixed serialized sub-requests.
+  Bytes payload = be32(static_cast<std::uint32_t>(queue.size()));
+  for (const auto& request : queue) {
+    const Bytes sub = request.serialize();
+    append(payload, be32(static_cast<std::uint32_t>(sub.size())));
+    append(payload, sub);
+  }
+  const Bytes reply = call("rpc.batch", payload);
+
+  // Decode per-call responses; surface the first failure.
+  std::size_t off = 0;
+  auto take32 = [&](BytesView b) {
+    if (off + 4 > b.size()) throw_error(ErrorCode::kProtocolError, "batch: truncated");
+    const std::uint32_t v = read_be32(b.subspan(off));
+    off += 4;
+    return v;
+  };
+  const std::size_t n = take32(reply);
+  if (n != queue.size()) {
+    throw_error(ErrorCode::kProtocolError, "batch: response count mismatch");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t len = take32(reply);
+    if (off + len > reply.size()) {
+      throw_error(ErrorCode::kProtocolError, "batch: truncated response");
+    }
+    const Response r = Response::deserialize(BytesView(reply).subspan(off, len));
+    off += len;
+    if (!r.ok) {
+      throw Error(r.error, "batch[" + queue[i].method + "]: " + r.error_message);
+    }
+  }
+  return n;
+}
+
+void RpcClient::abandon_deferred() noexcept {
+  if (t_deferred_erased != nullptr) t_deferred_erased->erase(this);
+}
+
+bool RpcClient::in_deferred_section() const noexcept {
+  return deferred_slot() != nullptr;
+}
+
+RpcServer::Handler RpcClient::make_batch_handler(const RpcServer& server) {
+  return [&server](BytesView payload) {
+    std::size_t off = 0;
+    auto take32 = [&](BytesView b) {
+      if (off + 4 > b.size()) throw_error(ErrorCode::kProtocolError, "batch: truncated");
+      const std::uint32_t v = read_be32(b.subspan(off));
+      off += 4;
+      return v;
+    };
+    const std::size_t n = take32(payload);
+    Bytes out = be32(static_cast<std::uint32_t>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t len = take32(payload);
+      if (off + len > payload.size()) {
+        throw_error(ErrorCode::kProtocolError, "batch: truncated request");
+      }
+      const Request sub = Request::deserialize(payload.subspan(off, len));
+      off += len;
+      const Bytes sub_response = server.dispatch(sub).serialize();
+      append(out, be32(static_cast<std::uint32_t>(sub_response.size())));
+      append(out, sub_response);
+    }
+    return out;
+  };
+}
+
+Bytes RpcClient::call(const std::string& method, BytesView payload) {
+  if (Deferred* d = deferred_slot(); d != nullptr && d->methods.count(method)) {
+    // Fire-and-forget method inside a deferred section: queue it. The
+    // caller receives the empty payload these methods return by protocol.
+    Request request;
+    request.method = method;
+    request.payload.assign(payload.begin(), payload.end());
+    d->queue.push_back(std::move(request));
+    static const Bytes kEmptyObject = [] {
+      Bytes b;
+      b.push_back(8);  // binary-codec object tag
+      append(b, be32(0));
+      return b;
+    }();
+    return kEmptyObject;
+  }
+
+  Request request;
+  request.method = method;
+  request.payload.assign(payload.begin(), payload.end());
+  const Bytes wire_request = request.serialize();
+
+  channel_.transfer_request(wire_request.size());
+  // Both ends run in-process: the "cloud" executes here. The bytes still
+  // went through full serialize/deserialize so nothing non-serializable
+  // can leak across the trust boundary.
+  const Response response = server_.dispatch(Request::deserialize(wire_request));
+  const Bytes wire_response = response.serialize();
+  channel_.transfer_response(wire_response.size());
+
+  Response decoded = Response::deserialize(wire_response);
+  if (!decoded.ok) throw Error(decoded.error, decoded.error_message);
+  return std::move(decoded.payload);
+}
+
+}  // namespace datablinder::net

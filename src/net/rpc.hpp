@@ -1,0 +1,89 @@
+// Request/response RPC over a simulated channel.
+//
+// The server registers byte-in/byte-out handlers per method name; handler
+// exceptions are converted into typed error responses so a DataBlinder
+// error thrown cloud-side surfaces gateway-side with its original code —
+// the serialization path is exercised end-to-end even though both ends run
+// in one process.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/message.hpp"
+
+namespace datablinder::net {
+
+class RpcServer {
+ public:
+  using Handler = std::function<Bytes(BytesView)>;
+
+  /// Registers a handler; throws Error(kAlreadyExists) on duplicates.
+  void register_method(const std::string& method, Handler handler);
+
+  /// Dispatches a serialized request to its handler. Never throws: errors
+  /// become failure responses.
+  Response dispatch(const Request& request) const noexcept;
+
+  std::size_t method_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Handler> handlers_;
+};
+
+class RpcClient {
+ public:
+  /// Both endpoint and channel must outlive the client.
+  RpcClient(RpcServer& server, Channel& channel) : server_(server), channel_(channel) {}
+
+  /// Full round trip: serialize, cross the channel, dispatch, cross back,
+  /// deserialize. Throws the server-side Error on failure responses.
+  Bytes call(const std::string& method, BytesView payload);
+
+  // --- deferred batching ----------------------------------------------------
+  //
+  // Between begin_deferred() and flush_deferred(), calls *on this thread*
+  // whose method is in the deferrable set are queued instead of sent and
+  // return an empty payload immediately (only fire-and-forget update
+  // methods qualify — their responses are empty by protocol). flush sends
+  // the whole queue as ONE "rpc.batch" round trip; any sub-call failure
+  // surfaces as the corresponding Error at flush time. Thread-local, so
+  // concurrent callers on other threads are unaffected.
+
+  /// Starts a deferred section. Throws kInvalidArgument if one is active.
+  void begin_deferred(std::set<std::string> deferrable_methods);
+
+  /// Sends all queued calls as one batch round trip; returns how many were
+  /// sent. Always ends the deferred section, even on error.
+  std::size_t flush_deferred();
+
+  /// Discards a deferred section without sending (error-path cleanup).
+  void abandon_deferred() noexcept;
+
+  bool in_deferred_section() const noexcept;
+
+  /// The server-side batch dispatcher; CloudNode (or any server) registers
+  /// it as method "rpc.batch".
+  static RpcServer::Handler make_batch_handler(const RpcServer& server);
+
+  Channel& channel() noexcept { return channel_; }
+
+ private:
+  struct Deferred {
+    std::set<std::string> methods;
+    std::vector<Request> queue;
+  };
+  Deferred* deferred_slot() const noexcept;
+
+  RpcServer& server_;
+  Channel& channel_;
+};
+
+}  // namespace datablinder::net

@@ -1,0 +1,149 @@
+#include "onion/onion.hpp"
+
+#include "common/status.hpp"
+#include "core/tactics/numeric.hpp"
+#include "crypto/hkdf.hpp"
+
+namespace datablinder::onion {
+
+using doc::Value;
+
+std::string to_string(OnionLevel level) {
+  switch (level) {
+    case OnionLevel::kRnd: return "RND";
+    case OnionLevel::kDet: return "DET";
+    case OnionLevel::kOpe: return "OPE";
+  }
+  return "?";
+}
+
+OnionClient::OnionClient(BytesView master_key, const std::string& column, bool numeric)
+    : column_(column), numeric_(numeric) {
+  rnd_key_ = crypto::hkdf({}, master_key, to_bytes("onion-rnd/" + column), 32);
+  det_key_ = crypto::hkdf({}, master_key, to_bytes("onion-det/" + column), 32);
+  ope_key_ = crypto::hkdf({}, master_key, to_bytes("onion-ope/" + column), 32);
+}
+
+Bytes OnionClient::inner_core(const Value& v) const {
+  if (numeric_) {
+    // Numeric core: the OPE ciphertext (order-preserving 16 bytes).
+    const ppe::OpeCipher ope(ope_key_, column_);
+    return ope.encrypt(core::tactics::ordered_key(v)).to_bytes();
+  }
+  return v.scalar_bytes();
+}
+
+Bytes OnionClient::encrypt(const Value& v) const {
+  const ppe::DetCipher det(det_key_, column_);
+  const ppe::RndCipher rnd(rnd_key_, column_);
+  return rnd.encrypt(det.encrypt(inner_core(v)));
+}
+
+Bytes OnionClient::eq_token(const Value& v) const {
+  const ppe::DetCipher det(det_key_, column_);
+  return det.encrypt(inner_core(v));
+}
+
+std::pair<Bytes, Bytes> OnionClient::range_tokens(const Value& lo, const Value& hi) const {
+  require(numeric_, "onion: range tokens need a numeric column");
+  const ppe::OpeCipher ope(ope_key_, column_);
+  return {ope.encrypt(core::tactics::ordered_key(lo)).to_bytes(),
+          ope.encrypt(core::tactics::ordered_key(hi)).to_bytes()};
+}
+
+Bytes OnionClient::decrypt_core(BytesView onion, OnionLevel level) const {
+  Bytes current(onion.begin(), onion.end());
+  if (level == OnionLevel::kRnd) {
+    const ppe::RndCipher rnd(rnd_key_, column_);
+    auto peeled = rnd.decrypt(current);
+    if (!peeled) throw_error(ErrorCode::kCryptoFailure, "onion: RND layer corrupt");
+    current = std::move(*peeled);
+    level = OnionLevel::kDet;
+  }
+  if (level == OnionLevel::kDet) {
+    const ppe::DetCipher det(det_key_, column_);
+    auto peeled = det.decrypt(current);
+    if (!peeled) throw_error(ErrorCode::kCryptoFailure, "onion: DET layer corrupt");
+    current = std::move(*peeled);
+  }
+  return current;
+}
+
+OnionColumnServer::OnionColumnServer(std::string column, bool numeric)
+    : column_(std::move(column)), numeric_(numeric) {}
+
+void OnionColumnServer::put(const std::string& id, Bytes onion) {
+  rows_[id] = std::move(onion);
+}
+
+bool OnionColumnServer::erase(const std::string& id) { return rows_.erase(id) > 0; }
+
+void OnionColumnServer::peel_to_det(BytesView rnd_key, const std::string& context) {
+  require(level_ == OnionLevel::kRnd, "onion: column already peeled past RND");
+  // The client revealed the RND layer key; from here on the whole column
+  // leaks equality — the irreversible CryptDB ratchet.
+  const ppe::RndCipher rnd(rnd_key, context);
+  for (auto& [id, onion] : rows_) {
+    auto peeled = rnd.decrypt(onion);
+    if (!peeled) {
+      throw_error(ErrorCode::kCryptoFailure, "onion: peel failed for row " + id);
+    }
+    onion = std::move(*peeled);
+  }
+  level_ = OnionLevel::kDet;
+}
+
+void OnionColumnServer::peel_to_ope(BytesView det_key, const std::string& context) {
+  require(level_ == OnionLevel::kDet, "onion: must peel RND before DET");
+  require(numeric_, "onion: text columns have no OPE core");
+  const ppe::DetCipher det(det_key, context);
+  for (auto& [id, onion] : rows_) {
+    auto peeled = det.decrypt(onion);
+    if (!peeled) {
+      throw_error(ErrorCode::kCryptoFailure, "onion: peel failed for row " + id);
+    }
+    onion = std::move(*peeled);
+  }
+  level_ = OnionLevel::kOpe;
+}
+
+std::vector<std::string> OnionColumnServer::find_eq(BytesView det_token) const {
+  require(level_ != OnionLevel::kRnd,
+          "onion: equality needs the column peeled to DET first");
+  std::vector<std::string> out;
+  if (level_ == OnionLevel::kDet) {
+    for (const auto& [id, onion] : rows_) {
+      if (BytesView(onion).size() == det_token.size() &&
+          std::equal(onion.begin(), onion.end(), det_token.begin())) {
+        out.push_back(id);
+      }
+    }
+  } else {
+    // At OPE level the DET wrapper is gone; equality tokens no longer
+    // match. CryptDB keeps a second onion column for equality; this
+    // single-onion model reports the limitation loudly instead.
+    throw_error(ErrorCode::kInvalidArgument,
+                "onion: column peeled to OPE; DET equality tokens no longer apply");
+  }
+  return out;
+}
+
+std::vector<std::string> OnionColumnServer::find_range(BytesView ope_lo,
+                                                       BytesView ope_hi) const {
+  require(level_ == OnionLevel::kOpe, "onion: range needs the column peeled to OPE");
+  std::vector<std::string> out;
+  const Bytes lo(ope_lo.begin(), ope_lo.end());
+  const Bytes hi(ope_hi.begin(), ope_hi.end());
+  for (const auto& [id, onion] : rows_) {
+    if (onion >= lo && onion <= hi) out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t OnionColumnServer::storage_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [id, onion] : rows_) n += id.size() + onion.size();
+  return n;
+}
+
+}  // namespace datablinder::onion

@@ -1,0 +1,114 @@
+// Onion encryption — a CryptDB-style baseline (Popa et al., SOSP 2011) for
+// comparison against DataBlinder's per-field multi-tactic approach.
+//
+// CryptDB wraps each value in layers ("onions"): RND(DET(OPE(v))) for
+// numerics, RND(DET(v)) for text. The server stores the onion at its
+// current outermost layer; to enable a query class the client *reveals the
+// layer key* and the server peels the whole column in place:
+//   RND layer — semantic security, no queries;
+//   DET layer — server-side equality (the column now leaks equality
+//               permanently, for every row, past and future);
+//   OPE layer — server-side ranges (the column leaks order permanently).
+//
+// The contrast the paper draws (§6): CryptDB keeps the legacy database
+// unchanged but ratchets leakage per column monotonically downward, and the
+// tactic is fixed; DataBlinder selects leakage per field *up front* via the
+// protection-class annotation and can swap tactics later (crypto agility).
+// bench_onion_comparison measures both sides of that trade.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "doc/value.hpp"
+#include "ppe/det.hpp"
+#include "ppe/ope.hpp"
+#include "ppe/rnd.hpp"
+
+namespace datablinder::onion {
+
+/// Outermost layer currently exposed to the server; strictly decreasing.
+enum class OnionLevel : std::uint8_t {
+  kRnd = 2,  // strongest: probabilistic
+  kDet = 1,  // equality visible
+  kOpe = 0,  // order visible (numeric onions only)
+};
+
+std::string to_string(OnionLevel level);
+
+/// Client-side key material and encoders for one column.
+class OnionClient {
+ public:
+  /// `numeric` columns carry the OPE core (three layers), text columns two.
+  OnionClient(BytesView master_key, const std::string& column, bool numeric);
+
+  /// Full onion for storage (all layers applied).
+  Bytes encrypt(const doc::Value& v) const;
+
+  /// DET-layer ciphertext for an equality predicate (valid once the
+  /// column is peeled to kDet or below).
+  Bytes eq_token(const doc::Value& v) const;
+
+  /// OPE-layer ciphertexts for a range predicate (numeric columns, peeled
+  /// to kOpe).
+  std::pair<Bytes, Bytes> range_tokens(const doc::Value& lo, const doc::Value& hi) const;
+
+  /// Decrypts a fully- or partially-peeled onion back to the scalar bytes
+  /// core (the OPE/plain core), given its current level.
+  Bytes decrypt_core(BytesView onion, OnionLevel level) const;
+
+  /// The layer keys the client must REVEAL to the server to enable peeling
+  /// — the act that makes CryptDB's leakage permanent.
+  Bytes rnd_layer_key() const { return rnd_key_; }
+  Bytes det_layer_key() const { return det_key_; }
+
+  bool numeric() const noexcept { return numeric_; }
+
+ private:
+  Bytes inner_core(const doc::Value& v) const;
+
+  std::string column_;
+  bool numeric_;
+  Bytes rnd_key_;
+  Bytes det_key_;
+  Bytes ope_key_;
+};
+
+/// Server-side column store: holds onions at the column's current level and
+/// executes queries the level permits.
+class OnionColumnServer {
+ public:
+  explicit OnionColumnServer(std::string column, bool numeric);
+
+  void put(const std::string& id, Bytes onion);
+  bool erase(const std::string& id);
+  std::size_t size() const noexcept { return rows_.size(); }
+
+  OnionLevel level() const noexcept { return level_; }
+
+  /// Peels the ENTIRE column one layer with the revealed key. Throws
+  /// kInvalidArgument when already at the requested depth or when peeling
+  /// a text column to OPE.
+  void peel_to_det(BytesView rnd_key, const std::string& column_context);
+  void peel_to_ope(BytesView det_key, const std::string& column_context);
+
+  /// Equality scan; requires level <= kDet.
+  std::vector<std::string> find_eq(BytesView det_token) const;
+
+  /// Range scan; requires level == kOpe (numeric columns).
+  std::vector<std::string> find_range(BytesView ope_lo, BytesView ope_hi) const;
+
+  std::size_t storage_bytes() const;
+
+ private:
+  std::string column_;
+  bool numeric_;
+  OnionLevel level_ = OnionLevel::kRnd;
+  std::map<std::string, Bytes> rows_;  // id -> onion at current level
+};
+
+}  // namespace datablinder::onion

@@ -1,0 +1,84 @@
+#include "phe/elgamal.hpp"
+
+#include "bigint/prime.hpp"
+#include "common/status.hpp"
+
+namespace datablinder::phe {
+
+namespace {
+BigInt sample_exponent(const BigInt& p) {
+  // Exponents over the subgroup of order q = (p-1)/2; uniform in [1, q).
+  const BigInt q = (p - BigInt(1)) >> 1;
+  for (;;) {
+    BigInt r = BigInt::random_below(q);
+    if (!r.is_zero()) return r;
+  }
+}
+}  // namespace
+
+ElGamalCiphertext ElGamalPublicKey::encrypt(const BigInt& m) const {
+  require(!m.is_zero() && m < p, "elgamal: message out of range");
+  const BigInt r = sample_exponent(p);
+  return {g.pow_mod(r, p), m.mul_mod(h.pow_mod(r, p), p)};
+}
+
+ElGamalCiphertext ElGamalPublicKey::encrypt_exponent(std::uint64_t m) const {
+  const BigInt r = sample_exponent(p);
+  const BigInt gm = g.pow_mod(BigInt(m), p);
+  return {g.pow_mod(r, p), gm.mul_mod(h.pow_mod(r, p), p)};
+}
+
+ElGamalCiphertext ElGamalPublicKey::multiply(const ElGamalCiphertext& a,
+                                             const ElGamalCiphertext& b) const {
+  return {a.c1.mul_mod(b.c1, p), a.c2.mul_mod(b.c2, p)};
+}
+
+ElGamalCiphertext ElGamalPublicKey::rerandomize(const ElGamalCiphertext& c) const {
+  const BigInt r = sample_exponent(p);
+  return {c.c1.mul_mod(g.pow_mod(r, p), p), c.c2.mul_mod(h.pow_mod(r, p), p)};
+}
+
+BigInt ElGamalPrivateKey::decrypt(const ElGamalCiphertext& c) const {
+  // m = c2 / c1^x.
+  const BigInt s = c.c1.pow_mod(x, pub.p);
+  return c.c2.mul_mod(s.inv_mod(pub.p), pub.p);
+}
+
+std::optional<std::uint64_t> ElGamalPrivateKey::decrypt_exponent(
+    const ElGamalCiphertext& c, std::uint64_t max_exponent) const {
+  const BigInt gm = decrypt(c);
+  // Bounded linear discrete-log: plaintext spaces here are counters, so a
+  // scan beats the setup cost of BSGS at realistic bounds.
+  BigInt cur(1);
+  for (std::uint64_t m = 0; m <= max_exponent; ++m) {
+    if (cur == gm) return m;
+    cur = cur.mul_mod(pub.g, pub.p);
+  }
+  return std::nullopt;
+}
+
+ElGamalKeyPair elgamal_generate(std::size_t prime_bits) {
+  require(prime_bits >= 64, "elgamal_generate: prime too small");
+  // Safe prime p = 2q + 1; generator of the order-q subgroup via squaring.
+  BigInt p, q;
+  for (;;) {
+    q = bigint::generate_prime(prime_bits - 1);
+    p = (q << 1) + BigInt(1);
+    if (bigint::is_probable_prime(p)) break;
+  }
+  BigInt g;
+  for (;;) {
+    const BigInt candidate = BigInt(2) + BigInt::random_below(p - BigInt(3));
+    g = candidate.mul_mod(candidate, p);  // square: lands in the QR subgroup
+    if (g != BigInt(1)) break;
+  }
+  ElGamalKeyPair kp;
+  kp.pub.p = p;
+  kp.pub.g = g;
+  kp.priv.x = sample_exponent(p);
+  kp.pub.h = g.pow_mod(kp.priv.x, p);
+  kp.priv.pub = kp.pub;
+  return kp;
+}
+
+}  // namespace datablinder::phe

@@ -1,0 +1,74 @@
+// ElGamal encryption (ElGamal, 1985) — the multiplicatively homomorphic
+// counterpart to Paillier in the paper's background taxonomy ("HE schemes
+// provide either addition or multiplication e.g., Paillier and ElGamal").
+//
+// Two modes over a safe-prime group:
+//  * multiplicative — Enc(a) ⊗ Enc(b) = Enc(a·b): geometric aggregation;
+//  * exponential ("lifted") — messages in the exponent, Enc(a) ⊗ Enc(b) =
+//    Enc(a+b); decryption recovers m by bounded discrete log, so plaintexts
+//    must be small (the classic voting/counter construction).
+//
+// Provided as a library primitive for tactic developers (the SPI makes
+// adding a product-aggregate tactic a single registration); the built-in
+// aggregate tactic uses Paillier, matching the paper's Table 2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bigint/bigint.hpp"
+
+namespace datablinder::phe {
+
+using bigint::BigInt;
+
+struct ElGamalCiphertext {
+  BigInt c1;  // g^r
+  BigInt c2;  // m * h^r   (or g^m * h^r in exponential mode)
+
+  bool operator==(const ElGamalCiphertext&) const = default;
+};
+
+struct ElGamalPublicKey {
+  BigInt p;  // safe prime
+  BigInt g;  // generator of the quadratic-residue subgroup
+  BigInt h;  // g^x
+
+  /// Multiplicative encryption of m in [1, p). m must be a quadratic
+  /// residue for textbook semantic security; callers square or hash-map
+  /// as needed — the homomorphic property holds regardless.
+  ElGamalCiphertext encrypt(const BigInt& m) const;
+
+  /// Exponential (lifted) encryption of a small non-negative integer.
+  ElGamalCiphertext encrypt_exponent(std::uint64_t m) const;
+
+  /// Homomorphic combine: multiplies plaintexts (or adds exponents).
+  ElGamalCiphertext multiply(const ElGamalCiphertext& a,
+                             const ElGamalCiphertext& b) const;
+
+  /// Re-randomizes without changing the plaintext.
+  ElGamalCiphertext rerandomize(const ElGamalCiphertext& c) const;
+};
+
+struct ElGamalPrivateKey {
+  BigInt x;
+  ElGamalPublicKey pub;
+
+  /// Multiplicative decryption.
+  BigInt decrypt(const ElGamalCiphertext& c) const;
+
+  /// Exponential decryption via bounded baby-step search; nullopt when the
+  /// plaintext exceeds `max_exponent`.
+  std::optional<std::uint64_t> decrypt_exponent(const ElGamalCiphertext& c,
+                                                std::uint64_t max_exponent) const;
+};
+
+struct ElGamalKeyPair {
+  ElGamalPublicKey pub;
+  ElGamalPrivateKey priv;
+};
+
+/// Generates a key pair over a fresh safe-prime group of `prime_bits`.
+ElGamalKeyPair elgamal_generate(std::size_t prime_bits);
+
+}  // namespace datablinder::phe

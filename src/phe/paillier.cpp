@@ -1,0 +1,76 @@
+#include "phe/paillier.hpp"
+
+#include "bigint/prime.hpp"
+#include "common/status.hpp"
+
+namespace datablinder::phe {
+
+namespace {
+/// Samples r in [1, n) with gcd(r, n) = 1.
+BigInt sample_unit(const BigInt& n) {
+  for (;;) {
+    BigInt r = BigInt::random_below(n);
+    if (!r.is_zero() && BigInt::gcd(r, n) == BigInt(1)) return r;
+  }
+}
+}  // namespace
+
+BigInt PaillierPublicKey::encrypt(const BigInt& m) const {
+  // Half-range encoding for signed plaintexts.
+  BigInt encoded = m.mod(n);
+  const BigInt r = sample_unit(n);
+  // (1 + m*n) mod n^2 avoids a full pow_mod for the g^m term (g = n+1).
+  const BigInt gm = (BigInt(1) + encoded * n).mod(n_squared);
+  const BigInt rn = r.pow_mod(n, n_squared);
+  return gm.mul_mod(rn, n_squared);
+}
+
+BigInt PaillierPublicKey::encrypt_i64(std::int64_t m) const { return encrypt(BigInt(m)); }
+
+BigInt PaillierPublicKey::add(const BigInt& c1, const BigInt& c2) const {
+  return c1.mul_mod(c2, n_squared);
+}
+
+BigInt PaillierPublicKey::add_plain(const BigInt& c, const BigInt& m) const {
+  const BigInt gm = (BigInt(1) + m.mod(n) * n).mod(n_squared);
+  return c.mul_mod(gm, n_squared);
+}
+
+BigInt PaillierPublicKey::mul_plain(const BigInt& c, const BigInt& k) const {
+  return c.pow_mod(k.mod(n), n_squared);
+}
+
+BigInt PaillierPublicKey::rerandomize(const BigInt& c) const {
+  const BigInt r = sample_unit(n);
+  return c.mul_mod(r.pow_mod(n, n_squared), n_squared);
+}
+
+BigInt PaillierPublicKey::encrypt_zero() const { return encrypt(BigInt(0)); }
+
+BigInt PaillierPrivateKey::decrypt(const BigInt& c) const {
+  require(!c.is_zero() && c < pub.n_squared, "Paillier: ciphertext out of range");
+  const BigInt x = c.pow_mod(lambda, pub.n_squared);
+  const BigInt l = (x - BigInt(1)) / pub.n;
+  BigInt m = l.mul_mod(mu, pub.n);
+  // Half-range decode: values in the top third are negative.
+  if (m > pub.n - (pub.n / BigInt(3))) m -= pub.n;
+  return m;
+}
+
+std::int64_t PaillierPrivateKey::decrypt_i64(const BigInt& c) const {
+  return decrypt(c).to_i64();
+}
+
+PaillierKeyPair paillier_generate(std::size_t modulus_bits) {
+  require(modulus_bits >= 64, "paillier_generate: modulus too small");
+  const auto [p, q] = bigint::generate_prime_pair(modulus_bits / 2);
+  PaillierKeyPair kp;
+  kp.pub.n = p * q;
+  kp.pub.n_squared = kp.pub.n * kp.pub.n;
+  kp.priv.lambda = BigInt::lcm(p - BigInt(1), q - BigInt(1));
+  kp.priv.mu = kp.priv.lambda.inv_mod(kp.pub.n);
+  kp.priv.pub = kp.pub;
+  return kp;
+}
+
+}  // namespace datablinder::phe

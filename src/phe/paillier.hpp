@@ -1,0 +1,68 @@
+// Paillier partially homomorphic cryptosystem (Paillier, EUROCRYPT'99).
+//
+// Additively homomorphic: Enc(a) * Enc(b) = Enc(a + b). DataBlinder uses it
+// for the cloud-side SUM and AVERAGE aggregate tactics exactly as the
+// paper's prototype used Javallier. We use the standard g = n + 1 variant:
+//   Enc(m; r) = (1 + m*n) * r^n  mod n^2
+//   Dec(c)    = L(c^lambda mod n^2) * lambda^{-1}  mod n,  L(x) = (x-1)/n
+//
+// Signed values are supported via half-range encoding: plaintexts in
+// [n - n/3, n) decode as negative.
+#pragma once
+
+#include <cstdint>
+
+#include "bigint/bigint.hpp"
+
+namespace datablinder::phe {
+
+using bigint::BigInt;
+
+struct PaillierPublicKey {
+  BigInt n;         // modulus p*q
+  BigInt n_squared; // cached n^2
+
+  /// Encrypts a signed integer (half-range encoding).
+  BigInt encrypt(const BigInt& m) const;
+  BigInt encrypt_i64(std::int64_t m) const;
+
+  /// Homomorphic addition of two ciphertexts.
+  BigInt add(const BigInt& c1, const BigInt& c2) const;
+
+  /// Homomorphic addition of a plaintext constant.
+  BigInt add_plain(const BigInt& c, const BigInt& m) const;
+
+  /// Homomorphic multiplication by a plaintext scalar.
+  BigInt mul_plain(const BigInt& c, const BigInt& k) const;
+
+  /// Re-randomizes a ciphertext (fresh r^n factor) without changing the
+  /// plaintext; used to unlink ciphertexts across protocol steps.
+  BigInt rerandomize(const BigInt& c) const;
+
+  /// Encryption of zero — identity element for `add`.
+  BigInt encrypt_zero() const;
+
+  bool operator==(const PaillierPublicKey&) const = default;
+};
+
+struct PaillierPrivateKey {
+  BigInt lambda;  // lcm(p-1, q-1)
+  BigInt mu;      // lambda^{-1} mod n
+  PaillierPublicKey pub;
+
+  /// Decrypts to a signed integer (half-range decoding).
+  BigInt decrypt(const BigInt& c) const;
+  std::int64_t decrypt_i64(const BigInt& c) const;
+};
+
+struct PaillierKeyPair {
+  PaillierPublicKey pub;
+  PaillierPrivateKey priv;
+};
+
+/// Generates a key pair with an n of roughly `modulus_bits` bits.
+/// Real deployments use >= 2048; tests and benches may use smaller moduli —
+/// the homomorphic structure (what the evaluation measures) is identical.
+PaillierKeyPair paillier_generate(std::size_t modulus_bits);
+
+}  // namespace datablinder::phe

@@ -1,0 +1,16 @@
+#include "ppe/det.hpp"
+
+namespace datablinder::ppe {
+
+DetCipher::DetCipher(BytesView key, std::string_view context)
+    : siv_(key), context_(to_bytes(context)) {}
+
+Bytes DetCipher::encrypt(BytesView plaintext) const {
+  return siv_.seal(plaintext, context_);
+}
+
+std::optional<Bytes> DetCipher::decrypt(BytesView ciphertext) const {
+  return siv_.open(ciphertext, context_);
+}
+
+}  // namespace datablinder::ppe

@@ -1,0 +1,34 @@
+// DET — deterministic encryption tactic primitive (Bellare et al. 2006 style,
+// instantiated with AES-SIV).
+//
+// Equal plaintexts map to equal ciphertexts, so the cloud can match
+// equality predicates directly on ciphertexts. Protection Class 4 (leaks
+// equalities). The per-field `context` string domain-separates ciphertexts
+// so the same value in different fields does not correlate.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "crypto/siv.hpp"
+
+namespace datablinder::ppe {
+
+class DetCipher {
+ public:
+  /// Key must be 32 bytes. `context` scopes ciphertexts (e.g. "obs.status").
+  DetCipher(BytesView key, std::string_view context);
+
+  /// Deterministic: same plaintext -> same ciphertext within this context.
+  Bytes encrypt(BytesView plaintext) const;
+
+  /// Returns nullopt if the ciphertext fails authentication.
+  std::optional<Bytes> decrypt(BytesView ciphertext) const;
+
+ private:
+  crypto::AesSiv siv_;
+  Bytes context_;
+};
+
+}  // namespace datablinder::ppe

@@ -1,0 +1,16 @@
+#include "ppe/rnd.hpp"
+
+namespace datablinder::ppe {
+
+RndCipher::RndCipher(BytesView key, std::string_view context)
+    : gcm_(key), context_(to_bytes(context)) {}
+
+Bytes RndCipher::encrypt(BytesView plaintext) const {
+  return gcm_.seal_random_nonce(plaintext, context_);
+}
+
+std::optional<Bytes> RndCipher::decrypt(BytesView ciphertext) const {
+  return gcm_.open_with_nonce(ciphertext, context_);
+}
+
+}  // namespace datablinder::ppe

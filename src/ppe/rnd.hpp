@@ -1,0 +1,32 @@
+// RND — probabilistic (semantically secure) encryption tactic primitive.
+//
+// AES-GCM with a fresh random nonce per encryption: ciphertexts reveal
+// nothing but length (protection Class 1, "structure" leakage). Equality
+// search over RND data is only possible by gateway-side scan-and-decrypt,
+// which the paper explicitly lists as this tactic's inefficiency.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "crypto/gcm.hpp"
+
+namespace datablinder::ppe {
+
+class RndCipher {
+ public:
+  /// Key must be 16/24/32 bytes. `context` is bound as associated data.
+  RndCipher(BytesView key, std::string_view context);
+
+  /// Probabilistic: repeated calls on the same plaintext differ.
+  Bytes encrypt(BytesView plaintext) const;
+
+  std::optional<Bytes> decrypt(BytesView ciphertext) const;
+
+ private:
+  crypto::AesGcm gcm_;
+  Bytes context_;
+};
+
+}  // namespace datablinder::ppe

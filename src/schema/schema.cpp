@@ -1,0 +1,107 @@
+#include "schema/schema.hpp"
+
+#include "common/status.hpp"
+
+namespace datablinder::schema {
+
+std::string to_string(ProtectionClass c) {
+  switch (c) {
+    case ProtectionClass::kClass1: return "C1(structure)";
+    case ProtectionClass::kClass2: return "C2(identifiers)";
+    case ProtectionClass::kClass3: return "C3(predicates)";
+    case ProtectionClass::kClass4: return "C4(equalities)";
+    case ProtectionClass::kClass5: return "C5(order)";
+  }
+  return "C?";
+}
+
+std::string to_string(Operation op) {
+  switch (op) {
+    case Operation::kInsert: return "I";
+    case Operation::kEquality: return "EQ";
+    case Operation::kBoolean: return "BL";
+    case Operation::kRange: return "RG";
+  }
+  return "?";
+}
+
+std::string to_string(Aggregate a) {
+  switch (a) {
+    case Aggregate::kSum: return "sum";
+    case Aggregate::kAverage: return "avg";
+    case Aggregate::kCount: return "count";
+    case Aggregate::kMin: return "min";
+    case Aggregate::kMax: return "max";
+  }
+  return "?";
+}
+
+std::string to_string(FieldType t) {
+  switch (t) {
+    case FieldType::kString: return "string";
+    case FieldType::kInt: return "int";
+    case FieldType::kDouble: return "double";
+    case FieldType::kBool: return "bool";
+    case FieldType::kAny: return "any";
+  }
+  return "?";
+}
+
+Schema& Schema::field(const std::string& name, FieldAnnotation ann) {
+  require(!fields_.count(name), "Schema: duplicate field '" + name + "'");
+  fields_.emplace(name, std::move(ann));
+  return *this;
+}
+
+Schema& Schema::plain_field(const std::string& name, FieldType type, bool required) {
+  FieldAnnotation ann;
+  ann.type = type;
+  ann.sensitive = false;
+  ann.required = required;
+  ann.operations = {Operation::kInsert};
+  return field(name, std::move(ann));
+}
+
+const FieldAnnotation& Schema::annotation(const std::string& name) const {
+  auto it = fields_.find(name);
+  if (it == fields_.end()) {
+    throw_error(ErrorCode::kNotFound, "Schema: unknown field '" + name + "'");
+  }
+  return it->second;
+}
+
+bool type_matches(FieldType declared, const doc::Value& v) {
+  using doc::ValueType;
+  switch (declared) {
+    case FieldType::kAny: return true;
+    case FieldType::kString: return v.type() == ValueType::kString;
+    case FieldType::kInt: return v.type() == ValueType::kInt;
+    case FieldType::kDouble:
+      return v.type() == ValueType::kDouble || v.type() == ValueType::kInt;
+    case FieldType::kBool: return v.type() == ValueType::kBool;
+  }
+  return false;
+}
+
+void Schema::validate(const doc::Document& d) const {
+  for (const auto& [name, ann] : fields_) {
+    if (ann.required && !d.has(name)) {
+      throw_error(ErrorCode::kSchemaViolation,
+                  "schema '" + name_ + "': missing required field '" + name + "'");
+    }
+  }
+  for (const auto& [name, value] : d.fields) {
+    auto it = fields_.find(name);
+    if (it == fields_.end()) {
+      throw_error(ErrorCode::kSchemaViolation,
+                  "schema '" + name_ + "': unknown field '" + name + "'");
+    }
+    if (!type_matches(it->second.type, value)) {
+      throw_error(ErrorCode::kSchemaViolation,
+                  "schema '" + name_ + "': field '" + name + "' expects " +
+                      to_string(it->second.type) + ", got " + value.to_display());
+    }
+  }
+}
+
+}  // namespace datablinder::schema

@@ -1,0 +1,100 @@
+#include "sse/mitra.hpp"
+
+#include <unordered_map>
+
+#include "common/status.hpp"
+#include "crypto/prf.hpp"
+
+namespace datablinder::sse {
+
+namespace {
+Bytes keyword_input(const std::string& keyword, std::uint64_t count, std::uint8_t role) {
+  Bytes input = to_bytes(keyword);
+  append(input, be64(count));
+  input.push_back(role);
+  return input;
+}
+}  // namespace
+
+void MitraServer::apply_update(const MitraUpdateToken& token) {
+  dict_.put(token.address, token.value);
+}
+
+std::vector<Bytes> MitraServer::search(const MitraSearchToken& token) const {
+  std::vector<Bytes> out;
+  out.reserve(token.addresses.size());
+  for (const auto& addr : token.addresses) {
+    if (auto v = dict_.get(addr)) out.push_back(std::move(*v));
+  }
+  return out;
+}
+
+MitraClient::MitraClient(BytesView key) : key_(key.begin(), key.end()) {
+  require(!key_.empty(), "MitraClient: empty key");
+}
+
+Bytes MitraClient::address_for(const std::string& keyword, std::uint64_t count) const {
+  return crypto::prf(key_, keyword_input(keyword, count, 0));
+}
+
+Bytes MitraClient::pad_for(const std::string& keyword, std::uint64_t count) const {
+  return crypto::prf(key_, keyword_input(keyword, count, 1));
+}
+
+MitraUpdateToken MitraClient::update(MitraOp op, const std::string& keyword,
+                                     const DocId& id) {
+  const std::uint64_t c = counters_.increment(keyword);
+  MitraUpdateToken token;
+  token.address = address_for(keyword, c);
+
+  // Payload: op byte || id, XOR-padded with a PRF stream (expanded to fit).
+  Bytes payload;
+  payload.push_back(static_cast<std::uint8_t>(op));
+  append(payload, to_bytes(id));
+  Bytes pad = crypto::prf_n(key_, keyword_input(keyword, c, 1), payload.size());
+  xor_inplace(payload, pad);
+  token.value = std::move(payload);
+  return token;
+}
+
+MitraSearchToken MitraClient::search_token(const std::string& keyword) const {
+  MitraSearchToken token;
+  const std::uint64_t c = counters_.get(keyword);
+  token.addresses.reserve(c);
+  for (std::uint64_t i = 1; i <= c; ++i) {
+    token.addresses.push_back(address_for(keyword, i));
+  }
+  return token;
+}
+
+std::vector<DocId> MitraClient::resolve(const std::string& keyword,
+                                        const std::vector<Bytes>& values) const {
+  // Values come back in address order (count 1..c); decrypt each and fold
+  // add/delete operations. A delete cancels all earlier adds of the id.
+  std::unordered_map<DocId, bool> live;
+  std::vector<DocId> order;
+  const std::uint64_t c = counters_.get(keyword);
+  require(values.size() <= c, "MitraClient::resolve: more values than updates");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    Bytes payload = values[i];
+    const Bytes pad = crypto::prf_n(key_, keyword_input(keyword, i + 1, 1), payload.size());
+    xor_inplace(payload, pad);
+    require(!payload.empty(), "MitraClient::resolve: empty payload");
+    const auto op = static_cast<MitraOp>(payload[0]);
+    DocId id(reinterpret_cast<const char*>(payload.data() + 1), payload.size() - 1);
+    if (op == MitraOp::kAdd) {
+      if (!live.count(id)) order.push_back(id);
+      live[id] = true;
+    } else {
+      live[id] = false;
+    }
+  }
+  std::vector<DocId> out;
+  out.reserve(order.size());
+  for (const auto& id : order) {
+    if (live[id]) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace datablinder::sse

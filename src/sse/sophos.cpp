@@ -1,0 +1,94 @@
+#include "sse/sophos.hpp"
+
+#include "bigint/prime.hpp"
+#include "common/status.hpp"
+#include "crypto/prf.hpp"
+
+namespace datablinder::sse {
+
+Bytes sophos_h1(BytesView kw_token, BytesView st_bytes) {
+  return crypto::prf_labeled(kw_token, "sophos-h1", st_bytes);
+}
+
+Bytes sophos_h2(BytesView kw_token, BytesView st_bytes, std::size_t len) {
+  Bytes input = to_bytes("sophos-h2");
+  input.push_back(0);
+  append(input, st_bytes);
+  return crypto::prf_n(kw_token, input, len);
+}
+
+void SophosServer::apply_update(const SophosUpdateToken& token) {
+  dict_.put(token.ut, token.value);
+}
+
+std::vector<DocId> SophosServer::search(const SophosSearchToken& token) const {
+  std::vector<DocId> out;
+  out.reserve(token.count);
+  BigInt st = BigInt::from_bytes(token.st_current);
+  const std::size_t elem_len = params_.element_len();
+  for (std::uint64_t i = 0; i < token.count; ++i) {
+    const Bytes st_bytes = st.to_bytes(elem_len);
+    const Bytes ut = sophos_h1(token.kw_token, st_bytes);
+    auto value = dict_.get(ut);
+    if (value) {
+      Bytes payload = *value;
+      xor_inplace(payload, sophos_h2(token.kw_token, st_bytes, payload.size()));
+      out.emplace_back(reinterpret_cast<const char*>(payload.data()), payload.size());
+    }
+    // Step to the previous state with the public (forward) permutation.
+    st = st.pow_mod(params_.e, params_.n);
+  }
+  return out;
+}
+
+SophosClient::SophosClient(BytesView prf_key, std::size_t modulus_bits)
+    : prf_key_(prf_key.begin(), prf_key.end()) {
+  require(!prf_key_.empty(), "SophosClient: empty PRF key");
+  require(modulus_bits >= 128, "SophosClient: modulus too small");
+  const auto [p, q] = bigint::generate_prime_pair(modulus_bits / 2);
+  n_ = p * q;
+  e_ = BigInt(65537);
+  const BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+  d_ = e_.inv_mod(phi);
+}
+
+SophosPublicParams SophosClient::public_params() const { return {n_, e_}; }
+
+Bytes SophosClient::kw_token(const std::string& keyword) const {
+  return crypto::prf_labeled(prf_key_, "sophos-kw", to_bytes(keyword));
+}
+
+SophosUpdateToken SophosClient::update(const std::string& keyword, const DocId& id) {
+  auto& ks = state_[keyword];
+  if (ks.count == 0) {
+    // Fresh keyword: random starting point in Z_n.
+    ks.st = BigInt::random_below(n_);
+  } else {
+    // Step backwards: only the trapdoor holder can do this.
+    ks.st = ks.st.pow_mod(d_, n_);
+  }
+  ++ks.count;
+
+  const std::size_t elem_len = (n_.bit_length() + 7) / 8;
+  const Bytes st_bytes = ks.st.to_bytes(elem_len);
+  const Bytes kt = kw_token(keyword);
+
+  SophosUpdateToken token;
+  token.ut = sophos_h1(kt, st_bytes);
+  token.value = to_bytes(id);
+  xor_inplace(token.value, sophos_h2(kt, st_bytes, token.value.size()));
+  return token;
+}
+
+std::optional<SophosSearchToken> SophosClient::search_token(
+    const std::string& keyword) const {
+  auto it = state_.find(keyword);
+  if (it == state_.end()) return std::nullopt;
+  SophosSearchToken token;
+  token.kw_token = kw_token(keyword);
+  token.st_current = it->second.st.to_bytes((n_.bit_length() + 7) / 8);
+  token.count = it->second.count;
+  return token;
+}
+
+}  // namespace datablinder::sse

@@ -1,0 +1,176 @@
+#include "sse/twolev.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/prf.hpp"
+
+namespace datablinder::sse {
+
+namespace {
+constexpr std::uint8_t kInlineTag = 0;
+constexpr std::uint8_t kBucketTag = 1;
+
+Bytes bucket_key_for(BytesView entry_key, std::uint32_t chunk) {
+  return crypto::prf_labeled(entry_key, "2lev-bucket", be32(chunk));
+}
+}  // namespace
+
+std::size_t TwoLevServerIndex::storage_bytes() const {
+  std::size_t n = dictionary.storage_bytes();
+  for (const auto& b : bucket_array) n += b.size();
+  return n;
+}
+
+TwoLevClient::TwoLevClient(BytesView key, TwoLevParams params)
+    : key_(key.begin(), key.end()), params_(params) {
+  require(!key_.empty(), "TwoLevClient: empty key");
+  require(params_.bucket_capacity > 0, "TwoLevClient: bucket_capacity must be > 0");
+}
+
+Bytes TwoLevClient::entry_key_for(const std::string& keyword) const {
+  return crypto::prf_labeled(key_, "2lev-key", to_bytes(keyword));
+}
+
+TwoLevToken TwoLevClient::token(const std::string& keyword) const {
+  return {crypto::prf_labeled(key_, "2lev-label", to_bytes(keyword)),
+          entry_key_for(keyword)};
+}
+
+TwoLevServerIndex TwoLevClient::build(
+    const std::map<std::string, std::vector<DocId>>& multimap) const {
+  TwoLevServerIndex index;
+
+  // First pass: chunk large lists and find the uniform padded bucket size
+  // (all buckets in one index must be indistinguishable by length).
+  struct PendingBucket {
+    Bytes key;        // per-bucket encryption key
+    Bytes plaintext;  // unpadded encode_id_list
+  };
+  std::vector<PendingBucket> pending;
+  struct PendingEntry {
+    Bytes label;
+    Bytes entry_key;
+    Bytes plaintext;                       // inline form, or filled later
+    std::vector<std::size_t> bucket_refs;  // indices into `pending`
+  };
+  std::vector<PendingEntry> entries;
+  std::size_t max_bucket_plain = 0;
+
+  for (const auto& [keyword, ids] : multimap) {
+    const TwoLevToken t = token(keyword);
+    PendingEntry entry;
+    entry.label = t.label;
+    entry.entry_key = t.entry_key;
+    if (ids.size() <= params_.inline_threshold) {
+      entry.plaintext.push_back(kInlineTag);
+      append(entry.plaintext, encode_id_list(ids));
+    } else {
+      for (std::size_t off = 0; off < ids.size(); off += params_.bucket_capacity) {
+        const std::size_t end = std::min(off + params_.bucket_capacity, ids.size());
+        PendingBucket bucket;
+        bucket.key = bucket_key_for(t.entry_key,
+                                    static_cast<std::uint32_t>(entry.bucket_refs.size()));
+        bucket.plaintext =
+            encode_id_list({ids.begin() + static_cast<std::ptrdiff_t>(off),
+                            ids.begin() + static_cast<std::ptrdiff_t>(end)});
+        max_bucket_plain = std::max(max_bucket_plain, bucket.plaintext.size());
+        entry.bucket_refs.push_back(pending.size());
+        pending.push_back(std::move(bucket));
+      }
+    }
+    entries.push_back(std::move(entry));
+  }
+
+  // Keyed shuffle of bucket positions: the array order carries no keyword
+  // grouping information.
+  std::vector<std::uint32_t> position(pending.size());
+  for (std::uint32_t i = 0; i < position.size(); ++i) position[i] = i;
+  DetRng shuffle_rng(crypto::prf_u64(key_, to_bytes("2lev-shuffle")));
+  for (std::size_t i = position.size(); i > 1; --i) {
+    std::swap(position[i - 1], position[shuffle_rng.uniform(i)]);
+  }
+
+  // Second pass: encrypt buckets (padded uniformly) into their positions.
+  index.bucket_array.resize(pending.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    Bytes padded = pending[i].plaintext;
+    padded.resize(max_bucket_plain, 0);  // decode_id_list ignores the tail
+    const crypto::AesGcm gcm(pending[i].key);
+    index.bucket_array[position[i]] = gcm.seal_random_nonce(padded);
+  }
+
+  // Third pass: dictionary entries (inline lists, or shuffled indices).
+  for (auto& entry : entries) {
+    if (entry.bucket_refs.empty()) {
+      // entry.plaintext already holds the inline form.
+    } else {
+      entry.plaintext.push_back(kBucketTag);
+      append(entry.plaintext, be32(static_cast<std::uint32_t>(entry.bucket_refs.size())));
+      for (const std::size_t ref : entry.bucket_refs) {
+        append(entry.plaintext, be32(position[ref]));
+      }
+    }
+    const crypto::AesGcm gcm(entry.entry_key);
+    index.dictionary.put(entry.label, gcm.seal_random_nonce(entry.plaintext, entry.label));
+  }
+  return index;
+}
+
+std::vector<std::uint32_t> TwoLevClient::bucket_indices(BytesView decrypted_entry) {
+  require(!decrypted_entry.empty(), "2lev: empty entry");
+  if (decrypted_entry[0] == kInlineTag) return {};
+  require(decrypted_entry[0] == kBucketTag && decrypted_entry.size() >= 5,
+          "2lev: malformed entry");
+  const std::size_t n = read_be32(decrypted_entry.subspan(1));
+  require(decrypted_entry.size() == 5 + 4 * n, "2lev: malformed index list");
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(read_be32(decrypted_entry.subspan(5 + 4 * i)));
+  }
+  return out;
+}
+
+std::vector<DocId> TwoLevClient::resolve(const TwoLevToken& token,
+                                         const std::optional<Bytes>& dictionary_entry,
+                                         const std::vector<Bytes>& buckets) const {
+  if (!dictionary_entry) return {};
+  const crypto::AesGcm gcm(token.entry_key);
+  auto entry = gcm.open_with_nonce(*dictionary_entry, token.label);
+  if (!entry) throw_error(ErrorCode::kCryptoFailure, "2lev: entry failed to decrypt");
+
+  if ((*entry)[0] == kInlineTag) {
+    return decode_id_list(BytesView(*entry).subspan(1));
+  }
+  std::vector<DocId> out;
+  for (std::uint32_t chunk = 0; chunk < buckets.size(); ++chunk) {
+    const crypto::AesGcm bucket_gcm(bucket_key_for(token.entry_key, chunk));
+    auto plain = bucket_gcm.open_with_nonce(buckets[chunk]);
+    if (!plain) throw_error(ErrorCode::kCryptoFailure, "2lev: bucket failed to decrypt");
+    for (auto& id : decode_id_list(*plain)) out.push_back(std::move(id));
+  }
+  return out;
+}
+
+std::optional<Bytes> TwoLevServer::lookup(const TwoLevServerIndex& index,
+                                          const Bytes& label) {
+  return index.dictionary.get(label);
+}
+
+std::vector<Bytes> TwoLevServer::fetch_buckets(const TwoLevServerIndex& index,
+                                               const std::vector<std::uint32_t>& indices) {
+  std::vector<Bytes> out;
+  out.reserve(indices.size());
+  for (const std::uint32_t i : indices) {
+    if (i >= index.bucket_array.size()) {
+      throw_error(ErrorCode::kProtocolError, "2lev: bucket index out of range");
+    }
+    out.push_back(index.bucket_array[i]);
+  }
+  return out;
+}
+
+}  // namespace datablinder::sse

@@ -1,0 +1,93 @@
+// 2Lev — the static encrypted multimap of Cash et al. (NDSS 2014, the
+// paper's reference [12]), the structure the BIEX-2Lev tactic is named
+// after and the storage layout the Clusion library implements.
+//
+// Two levels, chosen per keyword by result-set size:
+//   * small lists  — stored INLINE in the dictionary entry (one lookup);
+//   * large lists  — chunked into fixed-size encrypted buckets in a flat
+//     array; the dictionary entry holds the encrypted list of bucket
+//     indices. Buckets are shuffled and padded so the array reveals only
+//     its total size (the "storage impl. complexity" Table 2 notes).
+//
+// This is a *static* scheme: the whole index is built at setup from the
+// complete keyword -> ids map (the paper's SE "setup protocol"); the
+// dynamic tactics (Mitra-style streams) handle updates. A deployment
+// bulk-builds with 2Lev and lets the dynamic layer absorb the delta — the
+// classic static+dynamic hybrid.
+//
+// Leakage: dictionary size, array size, and per-query the access pattern
+// of one dictionary entry plus its buckets (response-length rounded up to
+// bucket multiples — mild padding for free).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "sse/index_common.hpp"
+
+namespace datablinder::sse {
+
+struct TwoLevParams {
+  /// Max ids stored inline in the dictionary before spilling to buckets.
+  std::size_t inline_threshold = 4;
+  /// Ids per array bucket.
+  std::size_t bucket_capacity = 8;
+};
+
+/// The server-side state produced by the setup protocol: an opaque
+/// dictionary plus an opaque bucket array.
+struct TwoLevServerIndex {
+  EncryptedDict dictionary;
+  std::vector<Bytes> bucket_array;
+
+  std::size_t storage_bytes() const;
+};
+
+/// Query token: the dictionary label plus the key that unwraps the entry.
+struct TwoLevToken {
+  Bytes label;
+  Bytes entry_key;
+};
+
+class TwoLevClient {
+ public:
+  explicit TwoLevClient(BytesView key, TwoLevParams params = {});
+
+  /// Setup protocol: builds the full index from the plaintext multimap.
+  /// Buckets are padded to capacity and placed in PRG-shuffled order.
+  TwoLevServerIndex build(const std::map<std::string, std::vector<DocId>>& multimap) const;
+
+  TwoLevToken token(const std::string& keyword) const;
+
+  /// Resolves a query: decrypts the dictionary entry and the returned
+  /// buckets into the id list.
+  std::vector<DocId> resolve(const TwoLevToken& token,
+                             const std::optional<Bytes>& dictionary_entry,
+                             const std::vector<Bytes>& buckets) const;
+
+  /// Which buckets the server must fetch for a decrypted entry — exposed
+  /// separately because the server executes it (it only sees indices).
+  static std::vector<std::uint32_t> bucket_indices(BytesView decrypted_entry);
+
+  const TwoLevParams& params() const noexcept { return params_; }
+
+ private:
+  Bytes entry_key_for(const std::string& keyword) const;
+
+  Bytes key_;
+  TwoLevParams params_;
+};
+
+/// Server-side query execution: one dictionary lookup plus the indicated
+/// bucket fetches. Stateless over the index.
+struct TwoLevServer {
+  static std::optional<Bytes> lookup(const TwoLevServerIndex& index, const Bytes& label);
+  static std::vector<Bytes> fetch_buckets(const TwoLevServerIndex& index,
+                                          const std::vector<std::uint32_t>& indices);
+};
+
+}  // namespace datablinder::sse

@@ -1,0 +1,119 @@
+#include "workload/loadgen.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "fhir/observation.hpp"
+
+namespace datablinder::workload {
+
+namespace {
+/// Query field rotation for equality searches (matches the §5.2 bench
+/// policy: DET on status/code/effective-ish fields, Mitra on subject).
+const char* kSearchFields[] = {"status", "code", "subject"};
+}  // namespace
+
+RunResult run_load(ScenarioApi& api, const LoadConfig& config) {
+  // Preload a corpus so searches and aggregates hit real data.
+  {
+    fhir::ObservationGenerator gen(config.seed);
+    for (std::size_t i = 0; i < config.preload_documents; ++i) {
+      api.insert_document(gen.next());
+    }
+  }
+
+  const double total_weight =
+      config.write_weight + config.read_weight + config.aggregate_weight;
+  const double write_cut = config.write_weight / total_weight;
+  const double read_cut = write_cut + config.read_weight / total_weight;
+
+  // Signed on purpose: several threads race fetch_sub past zero, and an
+  // unsigned counter would wrap and keep the losers looping forever.
+  std::atomic<std::int64_t> remaining{static_cast<std::int64_t>(config.total_requests)};
+  std::vector<LatencyRecorder> recorders(config.users * 3);
+
+  auto user_fn = [&](std::size_t user_index) {
+    fhir::ObservationGenerator gen(config.seed * 7919 + user_index + 1);
+    LatencyRecorder& write_rec = recorders[user_index * 3 + 0];
+    LatencyRecorder& read_rec = recorders[user_index * 3 + 1];
+    LatencyRecorder& agg_rec = recorders[user_index * 3 + 2];
+
+    while (remaining.fetch_sub(1) > 0) {
+      const double roll = gen.rng().real();
+      Stopwatch sw;
+      if (roll < write_cut) {
+        api.insert_document(gen.next());
+        write_rec.record_ns(sw.elapsed_ns());
+      } else if (roll < read_cut) {
+        const char* field = kSearchFields[gen.rng().uniform(3)];
+        doc::Value value = (field == std::string("status")) ? gen.random_status()
+                           : (field == std::string("code")) ? gen.random_code()
+                                                            : gen.random_subject();
+        api.equality_search(field, value);
+        read_rec.record_ns(sw.elapsed_ns());
+      } else {
+        api.aggregate_average("value");
+        agg_rec.record_ns(sw.elapsed_ns());
+      }
+    }
+  };
+
+  Stopwatch run_clock;
+  std::vector<std::thread> threads;
+  threads.reserve(config.users);
+  for (std::size_t u = 0; u < config.users; ++u) threads.emplace_back(user_fn, u);
+  for (auto& t : threads) t.join();
+  const double duration_s = run_clock.elapsed_s();
+
+  LatencyRecorder write_all, read_all, agg_all, overall;
+  for (std::size_t u = 0; u < config.users; ++u) {
+    write_all.merge(recorders[u * 3 + 0]);
+    read_all.merge(recorders[u * 3 + 1]);
+    agg_all.merge(recorders[u * 3 + 2]);
+  }
+  overall.merge(write_all);
+  overall.merge(read_all);
+  overall.merge(agg_all);
+
+  auto summarize = [&](const LatencyRecorder& rec) {
+    OpResult r;
+    r.count = rec.count();
+    r.latency = rec.summarize();
+    r.throughput_rps = duration_s > 0 ? static_cast<double>(r.count) / duration_s : 0;
+    return r;
+  };
+
+  RunResult result;
+  result.scenario = api.name();
+  result.duration_s = duration_s;
+  result.total_requests = overall.count();
+  result.overall_latency = overall.summarize();
+  result.overall_throughput_rps =
+      duration_s > 0 ? static_cast<double>(result.total_requests) / duration_s : 0;
+  result.write = summarize(write_all);
+  result.read = summarize(read_all);
+  result.aggregate = summarize(agg_all);
+  return result;
+}
+
+std::string RunResult::to_report() const {
+  char buf[720];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%-18s %8.1f req/s overall (%llu reqs in %.2fs)\n"
+      "  write:     %8.1f req/s  %s\n"
+      "  read:      %8.1f req/s  %s\n"
+      "  aggregate: %8.1f req/s  %s\n"
+      "  overall:   %s\n",
+      scenario.c_str(), overall_throughput_rps,
+      static_cast<unsigned long long>(total_requests), duration_s,
+      write.throughput_rps, to_string(write.latency).c_str(), read.throughput_rps,
+      to_string(read.latency).c_str(), aggregate.throughput_rps,
+      to_string(aggregate.latency).c_str(), to_string(overall_latency).c_str());
+  return buf;
+}
+
+}  // namespace datablinder::workload

@@ -1,0 +1,75 @@
+// Locust-style closed-loop load generator (paper §5.2 set-up).
+//
+// N concurrent "users" issue a balanced mix of write (insert + secure
+// indexing), read (equality search) and aggregate (homomorphic average)
+// operations against an abstract scenario API. The three scenarios of the
+// evaluation — S_A plaintext, S_B hard-coded tactics, S_C DataBlinder —
+// implement the same API, so Figure 5's per-operation and overall
+// throughput comparison falls out of one runner.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "doc/value.hpp"
+#include "workload/stats.hpp"
+
+namespace datablinder::workload {
+
+/// What a benchmark scenario must provide. Implementations are
+/// thread-safe: users call concurrently.
+class ScenarioApi {
+ public:
+  virtual ~ScenarioApi() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Stores one observation (no id; the scenario assigns one).
+  virtual void insert_document(doc::Document d) = 0;
+
+  /// Equality search; returns the number of matching documents.
+  virtual std::size_t equality_search(const std::string& field,
+                                      const doc::Value& value) = 0;
+
+  /// Cloud-side average of the `value` field.
+  virtual double aggregate_average(const std::string& field) = 0;
+};
+
+enum class OpKind { kWrite = 0, kRead = 1, kAggregate = 2 };
+
+struct LoadConfig {
+  std::size_t users = 16;            // concurrent closed-loop users
+  std::size_t total_requests = 3000; // across all users
+  std::size_t preload_documents = 500;  // inserted before the clock starts
+  // Mix weights (normalized): the paper balances read/write/aggregate.
+  double write_weight = 1.0;
+  double read_weight = 1.0;
+  double aggregate_weight = 1.0;
+  std::uint64_t seed = 42;
+};
+
+struct OpResult {
+  std::uint64_t count = 0;
+  double throughput_rps = 0;  // ops/sec over the run's wall-clock
+  LatencySummary latency;
+};
+
+struct RunResult {
+  std::string scenario;
+  double duration_s = 0;
+  std::uint64_t total_requests = 0;
+  double overall_throughput_rps = 0;
+  LatencySummary overall_latency;
+  OpResult write;
+  OpResult read;
+  OpResult aggregate;
+
+  std::string to_report() const;
+};
+
+/// Runs the configured workload against the scenario and returns the
+/// Figure 5 measurements.
+RunResult run_load(ScenarioApi& api, const LoadConfig& config);
+
+}  // namespace datablinder::workload

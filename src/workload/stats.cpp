@@ -1,0 +1,46 @@
+#include "workload/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace datablinder::workload {
+
+void LatencyRecorder::merge(const LatencyRecorder& other) {
+  samples_ns_.insert(samples_ns_.end(), other.samples_ns_.begin(),
+                     other.samples_ns_.end());
+}
+
+LatencySummary LatencyRecorder::summarize() const {
+  LatencySummary s;
+  if (samples_ns_.empty()) return s;
+  std::vector<std::uint64_t> sorted = samples_ns_;
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  double sum = 0;
+  for (auto v : sorted) sum += static_cast<double>(v);
+  s.mean_us = sum / static_cast<double>(sorted.size()) / 1e3;
+  auto pct = [&](double p) {
+    // Nearest-rank-up: p99 must capture the tail even when outliers are
+    // rare (one 10 ms spike among 99 fast requests belongs in the p99).
+    const auto idx = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(sorted.size() - 1)));
+    return static_cast<double>(sorted[idx]) / 1e3;
+  };
+  s.p50_us = pct(0.50);
+  s.p75_us = pct(0.75);
+  s.p99_us = pct(0.99);
+  s.max_us = static_cast<double>(sorted.back()) / 1e3;
+  return s;
+}
+
+std::string to_string(const LatencySummary& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2fms p50=%.2fms p75=%.2fms p99=%.2fms",
+                static_cast<unsigned long long>(s.count), s.mean_us / 1e3,
+                s.p50_us / 1e3, s.p75_us / 1e3, s.p99_us / 1e3);
+  return buf;
+}
+
+}  // namespace datablinder::workload

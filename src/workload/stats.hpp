@@ -1,0 +1,39 @@
+// Latency/throughput statistics for the Locust-style load generator.
+//
+// Collects raw per-request latencies and computes the mean and the
+// 50th/75th/99th percentiles the paper's §5.2 latency table reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace datablinder::workload {
+
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p75_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+};
+
+class LatencyRecorder {
+ public:
+  void record_ns(std::uint64_t ns) { samples_ns_.push_back(ns); }
+
+  void merge(const LatencyRecorder& other);
+
+  LatencySummary summarize() const;
+
+  std::uint64_t count() const noexcept { return samples_ns_.size(); }
+
+ private:
+  std::vector<std::uint64_t> samples_ns_;
+};
+
+/// Renders "count=..., mean=..., p50=..., p75=..., p99=..." in ms.
+std::string to_string(const LatencySummary& s);
+
+}  // namespace datablinder::workload

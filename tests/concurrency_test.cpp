@@ -1,0 +1,160 @@
+// Concurrency tests: the gateway serves parallel users without corrupting
+// tactic state or indexes; the cloud node handles concurrent RPC dispatch;
+// stores behave under contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "core/cloud_node.hpp"
+#include "core/gateway.hpp"
+#include "core/tactics/builtin.hpp"
+#include "fhir/observation.hpp"
+#include "store/kvstore.hpp"
+
+namespace datablinder {
+namespace {
+
+using core::DocId;
+using doc::Document;
+using doc::Value;
+
+TEST(ConcurrencyTest, KvStoreParallelMixedOps) {
+  store::KvStore kv;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&kv, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key = "k" + std::to_string(i % 17);
+        kv.set(key, Bytes{static_cast<std::uint8_t>(t)});
+        kv.sadd("set", std::to_string(t * kOps + i));
+        kv.incr("counter");
+        kv.zadd("z", Bytes{static_cast<std::uint8_t>(i % 251)}, std::to_string(i));
+        kv.get(key);
+        kv.zrange("z", Bytes{0}, Bytes{255});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(kv.incr("counter", 0), kThreads * kOps);
+  EXPECT_EQ(kv.scard("set"), static_cast<std::size_t>(kThreads * kOps));
+}
+
+TEST(ConcurrencyTest, CollectionParallelPutFind) {
+  store::Collection col("c");
+  col.create_index("v");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&col, t] {
+      for (int i = 0; i < 200; ++i) {
+        Document d;
+        d.id = std::to_string(t) + "-" + std::to_string(i);
+        d.set("v", Value(std::int64_t{i % 13}));
+        col.put(std::move(d));
+        col.find(store::Filter::eq("v", Value(std::int64_t{i % 13})));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(col.size(), 6u * 200u);
+  // Index consistency: each value class has exactly the expected members.
+  std::size_t total = 0;
+  for (std::int64_t v = 0; v < 13; ++v) {
+    total += col.find(store::Filter::eq("v", Value(v))).size();
+  }
+  EXPECT_EQ(total, 6u * 200u);
+}
+
+TEST(ConcurrencyTest, GatewayParallelUsersStayConsistent) {
+  core::CloudNode cloud;
+  net::Channel channel;
+  net::RpcClient rpc(cloud.rpc(), channel);
+  kms::KeyManager kms;
+  store::KvStore local;
+  core::TacticRegistry registry;
+  core::register_builtin_tactics(registry);
+  core::Gateway gateway(rpc, kms, local, registry,
+                        core::GatewayConfig{{{"paillier_modulus_bits", "256"}}});
+  gateway.register_schema(fhir::benchmark_schema("obs"));
+
+  constexpr int kUsers = 6;
+  constexpr int kDocsPerUser = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> users;
+  for (int u = 0; u < kUsers; ++u) {
+    users.emplace_back([&, u] {
+      try {
+        fhir::ObservationGenerator gen(1000 + u);
+        for (int i = 0; i < kDocsPerUser; ++i) {
+          Document d = gen.next();
+          d.set("subject", Value("user" + std::to_string(u)));
+          gateway.insert("obs", d);
+          // Interleave reads with writes.
+          gateway.equality_search("obs", "subject",
+                                  Value("user" + std::to_string(u)));
+          if (i % 5 == 0) {
+            gateway.aggregate("obs", "value", schema::Aggregate::kAverage);
+          }
+        }
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : users) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Post-conditions: every user's documents are all present and searchable.
+  for (int u = 0; u < kUsers; ++u) {
+    EXPECT_EQ(gateway
+                  .equality_search("obs", "subject", Value("user" + std::to_string(u)))
+                  .size(),
+              static_cast<std::size_t>(kDocsPerUser))
+        << "user " << u;
+  }
+  const auto avg = gateway.aggregate("obs", "value", schema::Aggregate::kAverage);
+  EXPECT_EQ(avg.count, static_cast<std::uint64_t>(kUsers * kDocsPerUser));
+}
+
+TEST(ConcurrencyTest, ParallelSearchesDuringWrites) {
+  core::CloudNode cloud;
+  net::Channel channel;
+  net::RpcClient rpc(cloud.rpc(), channel);
+  kms::KeyManager kms;
+  store::KvStore local;
+  core::TacticRegistry registry;
+  core::register_builtin_tactics(registry);
+  core::Gateway gateway(rpc, kms, local, registry,
+                        core::GatewayConfig{{{"paillier_modulus_bits", "256"}}});
+  gateway.register_schema(fhir::benchmark_schema("obs"));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> search_errors{0};
+  std::thread reader([&] {
+    fhir::ObservationGenerator gen(5);
+    while (!stop.load()) {
+      try {
+        // Results must always be internally consistent (every returned doc
+        // actually matches), regardless of concurrent writes.
+        const auto v = gen.random_status();
+        for (const auto& d : gateway.equality_search("obs", "status", v)) {
+          if (!(d.at("status") == v)) ++search_errors;
+        }
+      } catch (...) {
+        ++search_errors;
+      }
+    }
+  });
+
+  fhir::ObservationGenerator gen(6);
+  for (int i = 0; i < 60; ++i) gateway.insert("obs", gen.next());
+  stop = true;
+  reader.join();
+  EXPECT_EQ(search_errors.load(), 0);
+}
+
+}  // namespace
+}  // namespace datablinder

@@ -1,0 +1,131 @@
+// Document model, JSON codec and binary wire codec tests.
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+#include "doc/binary_codec.hpp"
+#include "doc/json.hpp"
+#include "doc/value.hpp"
+
+namespace datablinder::doc {
+namespace {
+
+TEST(ValueTest, TypeAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(true).as_bool(), true);
+  EXPECT_EQ(Value(std::int64_t{42}).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Value(std::int64_t{3}).as_double(), 3.0);  // widening
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+  EXPECT_EQ(Value(Bytes{1, 2}).as_binary(), (Bytes{1, 2}));
+  EXPECT_THROW(Value("hi").as_int(), Error);
+  EXPECT_THROW(Value(std::int64_t{1}).as_string(), Error);
+}
+
+TEST(ValueTest, ScalarBytesAreTypeTagged) {
+  // int 5 and string "5" must never produce the same keyword/ciphertext.
+  EXPECT_NE(Value(std::int64_t{5}).scalar_bytes(), Value("5").scalar_bytes());
+  EXPECT_NE(Value(true).scalar_bytes(), Value(std::int64_t{1}).scalar_bytes());
+  EXPECT_THROW(Value(Array{}).scalar_bytes(), Error);
+  EXPECT_THROW(Value(Object{}).scalar_bytes(), Error);
+}
+
+TEST(DocumentTest, FieldAccess) {
+  Document d;
+  d.id = "x";
+  d.set("a", Value(std::int64_t{1}));
+  EXPECT_TRUE(d.has("a"));
+  EXPECT_FALSE(d.has("b"));
+  EXPECT_EQ(d.at("a").as_int(), 1);
+  EXPECT_THROW(d.at("b"), Error);
+}
+
+TEST(JsonTest, SerializeBasics) {
+  Object obj;
+  obj["s"] = Value("he\"llo\n");
+  obj["i"] = Value(std::int64_t{-7});
+  obj["d"] = Value(1.5);
+  obj["b"] = Value(true);
+  obj["n"] = Value(nullptr);
+  obj["arr"] = Value(Array{Value(std::int64_t{1}), Value("x")});
+  EXPECT_EQ(to_json(Value(obj)),
+            R"({"arr":[1,"x"],"b":true,"d":1.5,"i":-7,"n":null,"s":"he\"llo\n"})");
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  const char* text =
+      R"({"arr":[1,"x",null,true],"bin":{"$bin":"0a0b"},"nested":{"k":2.25},"neg":-12})";
+  const Value v = parse_json(text);
+  EXPECT_EQ(v.as_object().at("neg").as_int(), -12);
+  EXPECT_EQ(v.as_object().at("bin").as_binary(), (Bytes{0x0a, 0x0b}));
+  EXPECT_DOUBLE_EQ(v.as_object().at("nested").as_object().at("k").as_double(), 2.25);
+  // Round trip through text again.
+  EXPECT_EQ(parse_json(to_json(v)), v);
+}
+
+TEST(JsonTest, ParseEscapes) {
+  const Value v = parse_json(R"("aA\t\\\"")");
+  EXPECT_EQ(v.as_string(), "aA\t\\\"");
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_THROW(parse_json(""), Error);
+  EXPECT_THROW(parse_json("{"), Error);
+  EXPECT_THROW(parse_json("[1,]"), Error);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), Error);
+  EXPECT_THROW(parse_json("tru"), Error);
+  EXPECT_THROW(parse_json("12 34"), Error);
+  EXPECT_THROW(parse_json("\"unterminated"), Error);
+}
+
+TEST(JsonTest, DocumentRoundTrip) {
+  Document d;
+  d.id = "f001";
+  d.set("status", Value("final"));
+  d.set("value", Value(6.3));
+  const Document back = parse_document_json(to_json(d));
+  EXPECT_EQ(back, d);
+}
+
+TEST(BinaryCodecTest, AllTypesRoundTrip) {
+  Object obj;
+  obj["null"] = Value(nullptr);
+  obj["t"] = Value(true);
+  obj["f"] = Value(false);
+  obj["i"] = Value(std::int64_t{-1234567890123});
+  obj["d"] = Value(3.14159);
+  obj["s"] = Value(std::string("hello\0world", 11));  // embedded NUL survives
+  obj["bin"] = Value(Bytes{0, 255, 127});
+  obj["arr"] = Value(Array{Value(std::int64_t{1}), Value(Array{}), Value(Object{})});
+  const Value v(obj);
+  EXPECT_EQ(decode_value(encode_value(v)), v);
+}
+
+TEST(BinaryCodecTest, DocumentRoundTrip) {
+  Document d;
+  d.id = "abc";
+  d.set("x", Value(std::int64_t{9}));
+  EXPECT_EQ(decode_document(encode_document(d)), d);
+}
+
+TEST(BinaryCodecTest, MalformedInputRejected) {
+  EXPECT_THROW(decode_value(Bytes{}), Error);
+  EXPECT_THROW(decode_value(Bytes{99}), Error);          // unknown tag
+  EXPECT_THROW(decode_value(Bytes{3, 0, 0}), Error);     // truncated int
+  EXPECT_THROW(decode_value(Bytes{5, 0, 0, 0, 10, 'a'}), Error);  // short string
+  // Trailing bytes rejected.
+  Bytes ok = encode_value(Value(std::int64_t{1}));
+  ok.push_back(0);
+  EXPECT_THROW(decode_value(ok), Error);
+}
+
+TEST(BinaryCodecTest, NumbersPreserveBitPatterns) {
+  for (double d : {0.0, -0.0, 1e-300, -1e300, 6.3}) {
+    EXPECT_EQ(decode_value(encode_value(Value(d))).as_double(), d);
+  }
+  for (std::int64_t i : {INT64_MIN, INT64_MAX, std::int64_t{0}}) {
+    EXPECT_EQ(decode_value(encode_value(Value(i))).as_int(), i);
+  }
+}
+
+}  // namespace
+}  // namespace datablinder::doc

@@ -1,0 +1,88 @@
+// ElGamal tests: multiplicative and exponential homomorphisms, key
+// generation structure, re-randomization.
+#include <gtest/gtest.h>
+
+#include "bigint/prime.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "phe/elgamal.hpp"
+
+namespace datablinder::phe {
+namespace {
+
+const ElGamalKeyPair& keys() {
+  static const ElGamalKeyPair kp = elgamal_generate(192);
+  return kp;
+}
+
+TEST(ElGamalTest, SafePrimeGroupStructure) {
+  const auto& pub = keys().pub;
+  EXPECT_TRUE(bigint::is_probable_prime(pub.p));
+  EXPECT_TRUE(bigint::is_probable_prime((pub.p - BigInt(1)) >> 1));  // safe prime
+  // g generates the order-q subgroup: g^q == 1.
+  const BigInt q = (pub.p - BigInt(1)) >> 1;
+  EXPECT_EQ(pub.g.pow_mod(q, pub.p), BigInt(1));
+  EXPECT_NE(pub.g, BigInt(1));
+}
+
+TEST(ElGamalTest, MultiplicativeRoundTrip) {
+  for (std::int64_t m : {1, 2, 42, 99999}) {
+    const auto c = keys().pub.encrypt(BigInt(m));
+    EXPECT_EQ(keys().priv.decrypt(c), BigInt(m)) << m;
+  }
+  EXPECT_THROW(keys().pub.encrypt(BigInt(0)), Error);
+  EXPECT_THROW(keys().pub.encrypt(keys().pub.p), Error);
+}
+
+TEST(ElGamalTest, EncryptionIsProbabilistic) {
+  const auto a = keys().pub.encrypt(BigInt(7));
+  const auto b = keys().pub.encrypt(BigInt(7));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(keys().priv.decrypt(a), keys().priv.decrypt(b));
+}
+
+TEST(ElGamalTest, MultiplicativeHomomorphism) {
+  DetRng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const std::int64_t a = rng.range(1, 100000);
+    const std::int64_t b = rng.range(1, 100000);
+    const auto product =
+        keys().pub.multiply(keys().pub.encrypt(BigInt(a)), keys().pub.encrypt(BigInt(b)));
+    EXPECT_EQ(keys().priv.decrypt(product), BigInt(a) * BigInt(b));
+  }
+}
+
+TEST(ElGamalTest, ExponentialModeAddsPlaintexts) {
+  // The lifted variant: counters summed under encryption.
+  auto acc = keys().pub.encrypt_exponent(0);
+  std::uint64_t expected = 0;
+  DetRng rng(5);
+  for (int i = 0; i < 15; ++i) {
+    const std::uint64_t v = rng.uniform(20);
+    expected += v;
+    acc = keys().pub.multiply(acc, keys().pub.encrypt_exponent(v));
+  }
+  const auto decoded = keys().priv.decrypt_exponent(acc, 1000);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, expected);
+}
+
+TEST(ElGamalTest, ExponentBoundRespected) {
+  const auto c = keys().pub.encrypt_exponent(500);
+  EXPECT_FALSE(keys().priv.decrypt_exponent(c, 100).has_value());
+  EXPECT_EQ(keys().priv.decrypt_exponent(c, 500), 500u);
+}
+
+TEST(ElGamalTest, RerandomizationPreservesPlaintext) {
+  const auto c = keys().pub.encrypt(BigInt(321));
+  const auto r = keys().pub.rerandomize(c);
+  EXPECT_NE(c, r);
+  EXPECT_EQ(keys().priv.decrypt(r), BigInt(321));
+}
+
+TEST(ElGamalTest, RejectsTinyPrimes) {
+  EXPECT_THROW(elgamal_generate(32), Error);
+}
+
+}  // namespace
+}  // namespace datablinder::phe

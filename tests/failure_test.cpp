@@ -1,0 +1,238 @@
+// Failure-injection tests: channel outages and faults, malformed
+// ciphertexts, KMS rotation hazards, append-only violations, schema and
+// policy failures — the middleware must fail loudly and typed, never
+// corrupt state silently.
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+#include "core/cloud_node.hpp"
+#include "core/gateway.hpp"
+#include "core/tactics/builtin.hpp"
+#include "core/tactics/sophos_tactic.hpp"
+#include "core/wire.hpp"
+#include "fhir/observation.hpp"
+
+namespace datablinder::core {
+namespace {
+
+using doc::Document;
+using doc::Value;
+
+TacticRegistry& registry() {
+  static TacticRegistry r = [] {
+    TacticRegistry reg;
+    register_builtin_tactics(reg);
+    return reg;
+  }();
+  return r;
+}
+
+struct Rig {
+  Rig()
+      : rpc(cloud.rpc(), channel),
+        gateway(rpc, kms, local, registry(),
+                GatewayConfig{{{"paillier_modulus_bits", "256"},
+                               {"sophos_modulus_bits", "512"}}}) {}
+
+  Document obs(const std::string& subject, std::int64_t effective = 100) {
+    fhir::ObservationGenerator gen(1);
+    Document d = gen.next();
+    d.set("subject", Value(subject));
+    d.set("effective", Value(effective));
+    d.set("issued", Value(effective + 1));
+    return d;
+  }
+
+  CloudNode cloud;
+  net::Channel channel;
+  net::RpcClient rpc;
+  kms::KeyManager kms;
+  store::KvStore local;
+  Gateway gateway;
+};
+
+TEST(FailureTest, ClosedChannelSurfacesAsUnavailable) {
+  Rig rig;
+  rig.gateway.register_schema(fhir::observation_schema("obs"));
+  rig.channel.close();
+  try {
+    rig.gateway.insert("obs", rig.obs("X"));
+    FAIL() << "expected unavailable";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnavailable);
+  }
+  // Reopening restores service.
+  rig.channel.reopen();
+  EXPECT_NO_THROW(rig.gateway.insert("obs", rig.obs("X")));
+}
+
+TEST(FailureTest, GatewayRecoversAfterTransientFaults) {
+  Rig rig;
+  rig.gateway.register_schema(fhir::observation_schema("obs"));
+
+  // An insert fans out to ~9 RPCs (doc.put + 8 tactic updates) = ~18
+  // channel transfers, so keep the per-transfer fault rate low enough that
+  // some inserts survive end to end.
+  net::ChannelConfig flaky;
+  flaky.failure_probability = 0.02;
+  rig.channel.set_config(flaky);
+
+  int ok = 0, failed = 0;
+  for (int i = 0; i < 40; ++i) {
+    try {
+      rig.gateway.insert("obs", rig.obs("patient" + std::to_string(i)));
+      ++ok;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kUnavailable);
+      ++failed;
+    }
+  }
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(failed, 0);
+
+  // Heal the channel: every successfully inserted document is findable and
+  // internally consistent afterwards.
+  rig.channel.set_config({});
+  for (int i = 0; i < 40; ++i) {
+    const auto hits = rig.gateway.equality_search(
+        "obs", "subject", Value("patient" + std::to_string(i)));
+    EXPECT_LE(hits.size(), 1u);
+  }
+}
+
+TEST(FailureTest, TamperedCloudBlobFailsAuthentication) {
+  Rig rig;
+  rig.gateway.register_schema(fhir::observation_schema("obs"));
+  const DocId id = rig.gateway.insert("obs", rig.obs("victim"));
+
+  // A malicious cloud flips a byte in the stored blob.
+  const Bytes reply = rig.rpc.call(
+      "doc.get", wire::pack({{"col", Value("obs")}, {"id", Value(id)}}));
+  Bytes blob = wire::get_bin(wire::unpack(reply), "blob");
+  blob[blob.size() / 2] ^= 1;
+  rig.rpc.call("doc.put", wire::pack({{"col", Value("obs")},
+                                      {"id", Value(id)},
+                                      {"blob", Value(blob)}}));
+
+  try {
+    rig.gateway.read("obs", id);
+    FAIL() << "expected crypto failure";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCryptoFailure);
+  }
+}
+
+TEST(FailureTest, BlobSwapAcrossIdsDetected) {
+  // AEAD binds blob to id: the cloud cannot serve doc A under id B.
+  Rig rig;
+  rig.gateway.register_schema(fhir::observation_schema("obs"));
+  const DocId a = rig.gateway.insert("obs", rig.obs("A"));
+  const DocId b = rig.gateway.insert("obs", rig.obs("B"));
+
+  const Bytes blob_a = wire::get_bin(
+      wire::unpack(rig.rpc.call(
+          "doc.get", wire::pack({{"col", Value("obs")}, {"id", Value(a)}}))),
+      "blob");
+  rig.rpc.call("doc.put", wire::pack({{"col", Value("obs")},
+                                      {"id", Value(b)},
+                                      {"blob", Value(blob_a)}}));
+  EXPECT_THROW(rig.gateway.read("obs", b), Error);
+  EXPECT_NO_THROW(rig.gateway.read("obs", a));
+}
+
+TEST(FailureTest, SophosDeleteFailsLoudly) {
+  Rig rig;
+  schema::Schema s("append_only");
+  schema::FieldAnnotation f;
+  f.type = schema::FieldType::kString;
+  f.sensitive = true;
+  f.protection = schema::ProtectionClass::kClass2;
+  f.operations = {schema::Operation::kInsert, schema::Operation::kEquality};
+  s.field("name", f);
+
+  // Force Sophos over Mitra via a promoted registry.
+  TacticRegistry reg;
+  register_det_tactic(reg);
+  register_rnd_tactic(reg);
+  register_mitra_tactic(reg);
+  {
+    TacticDescriptor d = SophosTactic::static_descriptor();
+    d.preference = 100;
+    reg.register_field_tactic(std::move(d), [](const GatewayContext& ctx) {
+      return std::make_unique<SophosTactic>(ctx);
+    });
+  }
+  register_biex2lev_tactic(reg);
+  register_biexzmf_tactic(reg);
+  register_ope_tactic(reg);
+  register_ore_tactic(reg);
+  register_paillier_tactic(reg);
+
+  Gateway gw(rig.rpc, rig.kms, rig.local, reg,
+             GatewayConfig{{{"sophos_modulus_bits", "512"}}});
+  gw.register_schema(s);
+  ASSERT_EQ(gw.plan("append_only").fields.at("name").eq_tactic, "Sophos");
+
+  Document d;
+  d.set("name", Value("permanent"));
+  const DocId id = gw.insert("append_only", d);
+  EXPECT_EQ(gw.equality_search("append_only", "name", Value("permanent")).size(), 1u);
+  // Sophos has no deletion protocol: the middleware refuses, typed.
+  EXPECT_THROW(gw.remove("append_only", id), Error);
+}
+
+TEST(FailureTest, KeyRotationWithoutReindexBreaksDecryptionLoudly) {
+  // Rotating the document key without re-encrypting is an operator error;
+  // the middleware must detect it (authentication failure), not return
+  // garbage.
+  Rig rig;
+  rig.gateway.register_schema(fhir::observation_schema("obs"));
+  const DocId id = rig.gateway.insert("obs", rig.obs("pre-rotation"));
+  rig.kms.rotate("doc/obs");
+
+  // The gateway instance caches its AesGcm, so a *new* gateway (fresh boot
+  // after rotation) sees the new key and must reject the old blob.
+  Gateway rebooted(rig.rpc, rig.kms, rig.local, registry(),
+                   GatewayConfig{{{"paillier_modulus_bits", "256"}}});
+  rebooted.register_schema(fhir::observation_schema("obs"));
+  EXPECT_THROW(rebooted.read("obs", id), Error);
+}
+
+TEST(FailureTest, MalformedRpcPayloadsRejectedByCloud) {
+  Rig rig;
+  EXPECT_THROW(rig.rpc.call("doc.get", Bytes{1, 2, 3}), Error);
+  EXPECT_THROW(rig.rpc.call("doc.get", wire::pack({{"col", Value("x")}})), Error);
+  EXPECT_THROW(rig.rpc.call("nonexistent.method", wire::pack({})), Error);
+  // Cloud survives the abuse: normal calls still work.
+  rig.gateway.register_schema(fhir::observation_schema("obs"));
+  EXPECT_NO_THROW(rig.gateway.insert("obs", rig.obs("ok")));
+}
+
+TEST(FailureTest, AggregateOnUnprovisionedScopeIsNotFound) {
+  Rig rig;
+  EXPECT_THROW(rig.rpc.call("agg.sum", wire::pack({{"scope", Value("ghost")}})), Error);
+  EXPECT_THROW(
+      rig.rpc.call("agg.insert", wire::pack({{"scope", Value("ghost")},
+                                             {"id", Value("d")},
+                                             {"ct", Value(Bytes{1})}})),
+      Error);
+}
+
+TEST(FailureTest, PolicyViolationsSurfaceAtSchemaRegistration) {
+  Rig rig;
+  schema::Schema s("impossible");
+  schema::FieldAnnotation f;
+  f.sensitive = true;
+  f.protection = schema::ProtectionClass::kClass1;  // strongest bound...
+  f.operations = {schema::Operation::kInsert, schema::Operation::kRange};  // ...but range
+  s.field("x", f);
+  try {
+    rig.gateway.register_schema(s);
+    FAIL() << "expected policy violation";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kPolicyViolation);
+  }
+}
+
+}  // namespace
+}  // namespace datablinder::core

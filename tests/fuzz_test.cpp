@@ -1,0 +1,168 @@
+// Robustness "fuzz" tests: every decode path that consumes bytes from the
+// untrusted zone (wire codecs, token deserializers, the batch handler, the
+// cloud RPC surface) must reject arbitrary garbage with a typed error —
+// never crash, hang, or mis-parse silently.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "core/cloud_node.hpp"
+#include "doc/binary_codec.hpp"
+#include "doc/json.hpp"
+#include "net/message.hpp"
+#include "net/rpc.hpp"
+#include "ppe/ore.hpp"
+#include "sse/index_common.hpp"
+
+namespace datablinder {
+namespace {
+
+/// Drives a decode callback with structured mutations: random buffers,
+/// truncations of valid encodings, and bit flips.
+template <typename Decode>
+void fuzz_decoder(const Bytes& valid, Decode&& decode, int iterations = 300) {
+  DetRng rng(1234);
+  // Pure random buffers of assorted sizes.
+  for (int i = 0; i < iterations; ++i) {
+    const Bytes garbage = rng.bytes(rng.uniform(200));
+    try {
+      decode(garbage);
+    } catch (const Error&) {
+      // typed rejection: exactly what we want
+    }
+  }
+  // Every truncation of a valid encoding.
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    const Bytes prefix(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(len));
+    try {
+      decode(prefix);
+    } catch (const Error&) {
+    }
+  }
+  // Single-bit flips over a valid encoding.
+  for (std::size_t bit = 0; bit < valid.size() * 8 && bit < 512; bit += 3) {
+    Bytes mutated = valid;
+    mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    try {
+      decode(mutated);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(FuzzTest, BinaryCodecNeverCrashes) {
+  doc::Object obj;
+  obj["s"] = doc::Value("hello");
+  obj["n"] = doc::Value(std::int64_t{42});
+  obj["arr"] = doc::Value(doc::Array{doc::Value(1.5), doc::Value(Bytes{1, 2, 3})});
+  const Bytes valid = doc::encode_value(doc::Value(obj));
+  fuzz_decoder(valid, [](BytesView b) { doc::decode_value(b); });
+}
+
+TEST(FuzzTest, DocumentCodecNeverCrashes) {
+  doc::Document d;
+  d.id = "doc-1";
+  d.set("f", doc::Value("v"));
+  const Bytes valid = doc::encode_document(d);
+  fuzz_decoder(valid, [](BytesView b) { doc::decode_document(b); });
+}
+
+TEST(FuzzTest, WireMessagesNeverCrash) {
+  net::Request r;
+  r.method = "det.search";
+  r.payload = Bytes{1, 2, 3, 4};
+  fuzz_decoder(r.serialize(), [](BytesView b) { net::Request::deserialize(b); });
+  fuzz_decoder(net::Response::success(Bytes{5, 6}).serialize(),
+               [](BytesView b) { net::Response::deserialize(b); });
+}
+
+TEST(FuzzTest, OreTokensNeverCrash) {
+  ppe::OreCipher ore(Bytes(32, 9), "f", 32);
+  fuzz_decoder(ore.encrypt_left(123).serialize(),
+               [](BytesView b) { ppe::OreLeft::deserialize(b); });
+  fuzz_decoder(ore.encrypt_right(123).serialize(),
+               [](BytesView b) { ppe::OreRight::deserialize(b); });
+}
+
+TEST(FuzzTest, IdListAndCountersNeverCrash) {
+  fuzz_decoder(sse::encode_id_list({"a", "bb", "ccc"}),
+               [](BytesView b) { sse::decode_id_list(b); });
+  sse::KeywordCounters counters;
+  counters.increment("w1");
+  counters.increment("w2");
+  fuzz_decoder(counters.serialize(),
+               [](BytesView b) { sse::KeywordCounters::deserialize(b); });
+}
+
+TEST(FuzzTest, JsonParserNeverCrashes) {
+  DetRng rng(77);
+  const char* seeds[] = {R"({"a":[1,2,{"b":null}],"c":"x"})", "[[[[]]]]",
+                         R"("strA\n")", "-1.5e10"};
+  for (const char* seed : seeds) {
+    std::string s = seed;
+    for (int i = 0; i < 200; ++i) {
+      std::string mutated = s;
+      const std::size_t pos = rng.uniform(mutated.size());
+      mutated[pos] = static_cast<char>(rng.uniform(256));
+      try {
+        doc::parse_json(mutated);
+      } catch (const Error&) {
+      }
+    }
+    for (std::size_t len = 0; len < s.size(); ++len) {
+      try {
+        doc::parse_json(std::string_view(s).substr(0, len));
+      } catch (const Error&) {
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, CloudRpcSurfaceSurvivesGarbage) {
+  // Fire random bytes at every registered method; the node must answer
+  // with typed errors and stay serviceable.
+  core::CloudNode cloud;
+  net::Channel channel;
+  net::RpcClient rpc(cloud.rpc(), channel);
+  DetRng rng(31337);
+  const char* methods[] = {"doc.put",     "doc.get",      "det.insert",
+                           "det.search",  "ope.insert",   "ope.range",
+                           "ore.insert",  "ore.range",    "mitra.update",
+                           "mitra.search", "sophos.update", "iex.search",
+                           "zmf.update",  "agg.sum",      "plain.find_eq",
+                           "rpc.batch",   "admin.storage"};
+  for (const char* method : methods) {
+    for (int i = 0; i < 60; ++i) {
+      try {
+        rpc.call(method, rng.bytes(rng.uniform(120)));
+      } catch (const Error&) {
+      }
+    }
+  }
+  // Still alive and correct afterwards.
+  const Bytes reply = rpc.call("admin.storage", doc::encode_value(doc::Value(doc::Object{})));
+  EXPECT_FALSE(reply.empty());
+}
+
+TEST(FuzzTest, BatchHandlerRejectsMalformedFrames) {
+  net::RpcServer server;
+  server.register_method("ok", [](BytesView) { return Bytes{8, 0, 0, 0, 0}; });
+  server.register_method("rpc.batch", net::RpcClient::make_batch_handler(server));
+  net::Channel channel;
+  net::RpcClient client(server, channel);
+
+  DetRng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    try {
+      client.call("rpc.batch", rng.bytes(rng.uniform(100)));
+    } catch (const Error&) {
+    }
+  }
+  // Valid batches still work after the abuse.
+  client.begin_deferred({"ok"});
+  client.call("ok", {});
+  EXPECT_EQ(client.flush_deferred(), 1u);
+}
+
+}  // namespace
+}  // namespace datablinder

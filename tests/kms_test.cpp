@@ -1,0 +1,62 @@
+// Key management tests: derivation stability, scoping, rotation.
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+#include "kms/key_manager.hpp"
+
+namespace datablinder::kms {
+namespace {
+
+TEST(KeyManagerTest, DerivationIsStable) {
+  KeyManager km(Bytes(32, 1));
+  EXPECT_EQ(km.derive("det/obs/status"), km.derive("det/obs/status"));
+  EXPECT_EQ(km.derive("a", 16).size(), 16u);
+  EXPECT_EQ(km.derive("a", 64).size(), 64u);
+}
+
+TEST(KeyManagerTest, ScopesAreIndependent) {
+  KeyManager km(Bytes(32, 1));
+  EXPECT_NE(km.derive("det/obs/status"), km.derive("det/obs/code"));
+  EXPECT_NE(km.derive("det/obs/status"), km.derive("mitra/obs/status"));
+}
+
+TEST(KeyManagerTest, SameMasterSameKeys) {
+  KeyManager a(Bytes(32, 7)), b(Bytes(32, 7));
+  EXPECT_EQ(a.derive("x"), b.derive("x"));
+  KeyManager c(Bytes(32, 8));
+  EXPECT_NE(a.derive("x"), c.derive("x"));
+}
+
+TEST(KeyManagerTest, RandomMastersDiffer) {
+  KeyManager a, b;
+  EXPECT_NE(a.derive("x"), b.derive("x"));
+}
+
+TEST(KeyManagerTest, RotationChangesKeys) {
+  KeyManager km(Bytes(32, 2));
+  const Bytes before = km.derive("scope");
+  EXPECT_EQ(km.epoch("scope"), 0u);
+  EXPECT_EQ(km.rotate("scope"), 1u);
+  const Bytes after = km.derive("scope");
+  EXPECT_NE(before, after);
+  EXPECT_EQ(km.epoch("scope"), 1u);
+  // Other scopes unaffected.
+  const Bytes other = km.derive("other");
+  km.rotate("scope");
+  EXPECT_EQ(km.derive("other"), other);
+}
+
+TEST(KeyManagerTest, RejectsWeakMaster) {
+  EXPECT_THROW(KeyManager(Bytes(8, 1)), Error);
+}
+
+TEST(KeyManagerTest, ScopeCount) {
+  KeyManager km(Bytes(32, 3));
+  km.derive("a");
+  km.derive("b");
+  km.derive("a");
+  EXPECT_EQ(km.scope_count(), 2u);
+}
+
+}  // namespace
+}  // namespace datablinder::kms

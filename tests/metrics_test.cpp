@@ -1,0 +1,117 @@
+// PerfRegistry tests — the Fig. 1 performance-metrics reification and its
+// integration in the gateway's dispatch paths.
+#include <gtest/gtest.h>
+
+#include "core/cloud_node.hpp"
+#include "core/gateway.hpp"
+#include "core/metrics.hpp"
+#include "core/tactics/builtin.hpp"
+#include "fhir/observation.hpp"
+
+namespace datablinder::core {
+namespace {
+
+using doc::Document;
+using doc::Value;
+
+TEST(PerfRegistryTest, RecordsAndAggregates) {
+  PerfRegistry reg;
+  reg.record("DET", TacticOperation::kInsert, 1000);
+  reg.record("DET", TacticOperation::kInsert, 3000);
+  reg.record("DET", TacticOperation::kEqualitySearch, 500);
+
+  const OpStats inserts = reg.stats("DET", TacticOperation::kInsert);
+  EXPECT_EQ(inserts.count, 2u);
+  EXPECT_EQ(inserts.total_ns, 4000u);
+  EXPECT_EQ(inserts.max_ns, 3000u);
+  EXPECT_DOUBLE_EQ(inserts.mean_us(), 2.0);
+
+  EXPECT_EQ(reg.stats("DET", TacticOperation::kEqualitySearch).count, 1u);
+  EXPECT_EQ(reg.stats("Mitra", TacticOperation::kInsert).count, 0u);
+  EXPECT_EQ(reg.snapshot().size(), 2u);
+
+  reg.reset();
+  EXPECT_EQ(reg.snapshot().size(), 0u);
+}
+
+TEST(PerfRegistryTest, ScopedPerfFilesOnDestruction) {
+  PerfRegistry reg;
+  { ScopedPerf s(reg, "OPE", TacticOperation::kRangeQuery); }
+  EXPECT_EQ(reg.stats("OPE", TacticOperation::kRangeQuery).count, 1u);
+}
+
+TEST(PerfRegistryTest, ReportRenders) {
+  PerfRegistry reg;
+  reg.record("Paillier", TacticOperation::kAverage, 5000000);
+  const std::string report = reg.report();
+  EXPECT_NE(report.find("Paillier"), std::string::npos);
+  EXPECT_NE(report.find("average"), std::string::npos);
+}
+
+TEST(GatewayMetricsTest, EveryTacticPathIsAccounted) {
+  CloudNode cloud;
+  net::Channel channel;
+  net::RpcClient rpc(cloud.rpc(), channel);
+  kms::KeyManager kms;
+  store::KvStore local;
+  TacticRegistry registry;
+  register_builtin_tactics(registry);
+  Gateway gateway(rpc, kms, local, registry,
+                  GatewayConfig{{{"paillier_modulus_bits", "256"}}});
+  gateway.register_schema(fhir::observation_schema("obs"));
+
+  fhir::ObservationGenerator gen(1);
+  for (int i = 0; i < 5; ++i) gateway.insert("obs", gen.next());
+  gateway.equality_search("obs", "subject", gen.random_subject());
+  gateway.equality_search("obs", "status", gen.random_status());
+  const auto [lo, hi] = gen.random_effective_range();
+  gateway.range_search("obs", "effective", lo, hi);
+  gateway.aggregate("obs", "value", schema::Aggregate::kAverage);
+
+  const PerfRegistry& perf = gateway.perf();
+  // Inserts: 5 each through Mitra, DET (x2 fields), OPE (x2 fields as one
+  // tactic instance per field), Paillier, BIEX, RND.
+  EXPECT_EQ(perf.stats("Mitra", TacticOperation::kInsert).count, 5u);
+  EXPECT_EQ(perf.stats("BIEX-2Lev", TacticOperation::kInsert).count, 5u);
+  EXPECT_EQ(perf.stats("Paillier", TacticOperation::kInsert).count, 5u);
+  EXPECT_EQ(perf.stats("DET", TacticOperation::kInsert).count, 10u);  // 2 fields
+  EXPECT_EQ(perf.stats("OPE", TacticOperation::kInsert).count, 10u);  // 2 fields
+
+  // Queries.
+  EXPECT_EQ(perf.stats("Mitra", TacticOperation::kEqualitySearch).count, 1u);
+  EXPECT_EQ(perf.stats("BIEX-2Lev", TacticOperation::kEqualitySearch).count, 1u);
+  EXPECT_EQ(perf.stats("OPE", TacticOperation::kRangeQuery).count, 1u);
+  EXPECT_EQ(perf.stats("Paillier", TacticOperation::kAverage).count, 1u);
+
+  // Timings are plausible (positive, bounded mean).
+  EXPECT_GT(perf.stats("Paillier", TacticOperation::kInsert).mean_us(), 0.0);
+  EXPECT_FALSE(perf.report().empty());
+}
+
+TEST(GatewayMetricsTest, BooleanSearchAttributesToTactics) {
+  CloudNode cloud;
+  net::Channel channel;
+  net::RpcClient rpc(cloud.rpc(), channel);
+  kms::KeyManager kms;
+  store::KvStore local;
+  TacticRegistry registry;
+  register_builtin_tactics(registry);
+  Gateway gateway(rpc, kms, local, registry,
+                  GatewayConfig{{{"paillier_modulus_bits", "256"}}});
+  gateway.register_schema(fhir::observation_schema("obs"));
+
+  fhir::ObservationGenerator gen(2);
+  for (int i = 0; i < 3; ++i) gateway.insert("obs", gen.next());
+
+  FieldBoolQuery q;
+  q.dnf.push_back({{"status", Value("final")},
+                   {"effective", Value(std::int64_t{1})}});  // BIEX term + DET term
+  gateway.boolean_search("obs", q);
+
+  EXPECT_EQ(gateway.perf().stats("BIEX-2Lev", TacticOperation::kBooleanSearch).count,
+            1u);
+  EXPECT_EQ(gateway.perf().stats("DET", TacticOperation::kEqualitySearch).count, 1u);
+}
+
+}  // namespace
+}  // namespace datablinder::core

@@ -1,0 +1,145 @@
+// Network substrate tests: message framing, channel accounting/faults, RPC
+// dispatch and error propagation.
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+#include "common/stopwatch.hpp"
+#include "net/channel.hpp"
+#include "net/message.hpp"
+#include "net/rpc.hpp"
+
+namespace datablinder::net {
+namespace {
+
+TEST(MessageTest, RequestRoundTrip) {
+  Request r;
+  r.method = "det.search";
+  r.payload = Bytes{1, 2, 3};
+  const Request back = Request::deserialize(r.serialize());
+  EXPECT_EQ(back.method, "det.search");
+  EXPECT_EQ(back.payload, (Bytes{1, 2, 3}));
+}
+
+TEST(MessageTest, ResponseRoundTrips) {
+  const Response ok = Response::success(Bytes{9, 8});
+  const Response back = Response::deserialize(ok.serialize());
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.payload, (Bytes{9, 8}));
+
+  const Response err = Response::failure(ErrorCode::kNotFound, "missing doc");
+  const Response eback = Response::deserialize(err.serialize());
+  EXPECT_FALSE(eback.ok);
+  EXPECT_EQ(eback.error, ErrorCode::kNotFound);
+  EXPECT_EQ(eback.error_message, "missing doc");
+}
+
+TEST(MessageTest, MalformedRejected) {
+  EXPECT_THROW(Request::deserialize(Bytes{0, 0}), Error);
+  EXPECT_THROW(Response::deserialize(Bytes{}), Error);
+  Bytes extra = Response::success({}).serialize();
+  extra.push_back(1);
+  EXPECT_THROW(Response::deserialize(extra), Error);
+}
+
+TEST(ChannelTest, AccountsBytesAndRoundTrips) {
+  Channel ch;
+  ch.transfer_request(100);
+  ch.transfer_response(50);
+  ch.transfer_request(10);
+  ch.transfer_response(5);
+  EXPECT_EQ(ch.stats().bytes_sent.load(), 110u);
+  EXPECT_EQ(ch.stats().bytes_received.load(), 55u);
+  EXPECT_EQ(ch.stats().round_trips.load(), 2u);
+  ch.stats().reset();
+  EXPECT_EQ(ch.stats().round_trips.load(), 0u);
+}
+
+TEST(ChannelTest, LatencyIsApplied) {
+  ChannelConfig cfg;
+  cfg.one_way_latency_us = 2000;
+  Channel ch(cfg);
+  Stopwatch sw;
+  ch.transfer_request(10);
+  ch.transfer_response(10);
+  EXPECT_GE(sw.elapsed_us(), 3500.0);  // ~2 x 2ms, scheduler slack allowed
+}
+
+TEST(ChannelTest, BandwidthDelaysLargeTransfers) {
+  ChannelConfig cfg;
+  cfg.bandwidth_bytes_per_sec = 1000000;  // 1 MB/s
+  Channel ch(cfg);
+  Stopwatch sw;
+  ch.transfer_request(10000);  // => 10ms serialization delay
+  EXPECT_GE(sw.elapsed_us(), 8000.0);
+}
+
+TEST(ChannelTest, ClosedChannelFails) {
+  Channel ch;
+  ch.close();
+  EXPECT_THROW(ch.transfer_request(1), Error);
+  ch.reopen();
+  EXPECT_NO_THROW(ch.transfer_request(1));
+}
+
+TEST(ChannelTest, FaultInjectionFiresEventually) {
+  ChannelConfig cfg;
+  cfg.failure_probability = 0.5;
+  Channel ch(cfg);
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    try {
+      ch.transfer_request(1);
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kUnavailable);
+      ++failures;
+    }
+  }
+  EXPECT_GT(failures, 20);
+  EXPECT_LT(failures, 180);
+}
+
+TEST(RpcTest, DispatchAndErrorPropagation) {
+  RpcServer server;
+  server.register_method("echo", [](BytesView p) { return Bytes(p.begin(), p.end()); });
+  server.register_method("boom", [](BytesView) -> Bytes {
+    throw_error(ErrorCode::kSchemaViolation, "bad document");
+  });
+  EXPECT_THROW(server.register_method("echo", [](BytesView) { return Bytes{}; }), Error);
+  EXPECT_EQ(server.method_count(), 2u);
+
+  Channel ch;
+  RpcClient client(server, ch);
+  EXPECT_EQ(client.call("echo", Bytes{4, 2}), (Bytes{4, 2}));
+
+  try {
+    client.call("boom", {});
+    FAIL() << "expected error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kSchemaViolation);  // code crosses the wire
+  }
+
+  try {
+    client.call("unknown", {});
+    FAIL() << "expected error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNotFound);
+  }
+}
+
+TEST(RpcTest, NonDataBlinderExceptionsBecomeInternal) {
+  RpcServer server;
+  server.register_method("std", [](BytesView) -> Bytes {
+    throw std::runtime_error("plain std failure");
+  });
+  Channel ch;
+  RpcClient client(server, ch);
+  try {
+    client.call("std", {});
+    FAIL() << "expected error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInternal);
+  }
+}
+
+}  // namespace
+}  // namespace datablinder::net

@@ -1,0 +1,107 @@
+// Onion-encryption (CryptDB baseline) tests: layer round trips, the peel
+// ratchet and its permanence, and query gating by level.
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+#include "onion/onion.hpp"
+
+namespace datablinder::onion {
+namespace {
+
+using doc::Value;
+
+TEST(OnionTest, FullOnionRoundTrip) {
+  OnionClient client(Bytes(32, 1), "orders.amount", /*numeric=*/true);
+  const Bytes onion = client.encrypt(Value(std::int64_t{1234}));
+  // Fresh RND layer: two encryptions of the same value differ.
+  EXPECT_NE(onion, client.encrypt(Value(std::int64_t{1234})));
+  // Client can always recover the core from the outermost level.
+  const Bytes core = client.decrypt_core(onion, OnionLevel::kRnd);
+  EXPECT_EQ(core.size(), 16u);  // OPE ciphertext core
+}
+
+TEST(OnionTest, TextOnionHasNoOpeCore) {
+  OnionClient client(Bytes(32, 2), "orders.status", /*numeric=*/false);
+  const Bytes onion = client.encrypt(Value("paid"));
+  const Bytes core = client.decrypt_core(onion, OnionLevel::kRnd);
+  EXPECT_EQ(core, Value("paid").scalar_bytes());
+  EXPECT_THROW(client.range_tokens(Value("a"), Value("z")), Error);
+}
+
+TEST(OnionTest, EqualityRequiresPeeling) {
+  OnionClient client(Bytes(32, 3), "c", true);
+  OnionColumnServer server("c", true);
+  server.put("r1", client.encrypt(Value(std::int64_t{10})));
+  server.put("r2", client.encrypt(Value(std::int64_t{20})));
+  server.put("r3", client.encrypt(Value(std::int64_t{10})));
+
+  // At RND level nothing is queryable.
+  EXPECT_EQ(server.level(), OnionLevel::kRnd);
+  EXPECT_THROW(server.find_eq(client.eq_token(Value(std::int64_t{10}))), Error);
+
+  // Reveal the RND key: the server peels the WHOLE column.
+  server.peel_to_det(client.rnd_layer_key(), "c");
+  EXPECT_EQ(server.level(), OnionLevel::kDet);
+  const auto hits = server.find_eq(client.eq_token(Value(std::int64_t{10})));
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_TRUE(server.find_eq(client.eq_token(Value(std::int64_t{99}))).empty());
+}
+
+TEST(OnionTest, RangeRequiresSecondPeel) {
+  OnionClient client(Bytes(32, 4), "c", true);
+  OnionColumnServer server("c", true);
+  for (std::int64_t v : {5, 15, 25, 35}) {
+    server.put("r" + std::to_string(v), client.encrypt(Value(v)));
+  }
+  server.peel_to_det(client.rnd_layer_key(), "c");
+  const auto [lo, hi] = client.range_tokens(Value(std::int64_t{10}),
+                                            Value(std::int64_t{30}));
+  EXPECT_THROW(server.find_range(lo, hi), Error);  // still at DET
+
+  server.peel_to_ope(client.det_layer_key(), "c");
+  EXPECT_EQ(server.level(), OnionLevel::kOpe);
+  EXPECT_EQ(server.find_range(lo, hi).size(), 2u);  // 15, 25
+}
+
+TEST(OnionTest, PeelRatchetIsMonotonic) {
+  OnionClient client(Bytes(32, 5), "c", true);
+  OnionColumnServer server("c", true);
+  server.put("r", client.encrypt(Value(std::int64_t{1})));
+  // Cannot skip or repeat layers.
+  EXPECT_THROW(server.peel_to_ope(client.det_layer_key(), "c"), Error);
+  server.peel_to_det(client.rnd_layer_key(), "c");
+  EXPECT_THROW(server.peel_to_det(client.rnd_layer_key(), "c"), Error);
+  server.peel_to_ope(client.det_layer_key(), "c");
+  EXPECT_THROW(server.peel_to_ope(client.det_layer_key(), "c"), Error);
+}
+
+TEST(OnionTest, RowsInsertedAfterPeelFollowColumnLevel) {
+  // CryptDB semantics quirk this model makes explicit: once a column is at
+  // DET, new rows must be inserted at DET (the proxy strips the RND layer
+  // on write). Here the client simply stores eq_token outputs.
+  OnionClient client(Bytes(32, 6), "c", true);
+  OnionColumnServer server("c", true);
+  server.put("old", client.encrypt(Value(std::int64_t{7})));
+  server.peel_to_det(client.rnd_layer_key(), "c");
+  server.put("new", client.eq_token(Value(std::int64_t{7})));  // DET-level row
+  EXPECT_EQ(server.find_eq(client.eq_token(Value(std::int64_t{7}))).size(), 2u);
+}
+
+TEST(OnionTest, TextColumnCannotReachOpe) {
+  OnionClient client(Bytes(32, 7), "t", false);
+  OnionColumnServer server("t", false);
+  server.put("r", client.encrypt(Value("x")));
+  server.peel_to_det(client.rnd_layer_key(), "t");
+  EXPECT_THROW(server.peel_to_ope(client.det_layer_key(), "t"), Error);
+}
+
+TEST(OnionTest, WrongKeyFailsLoudly) {
+  OnionClient client(Bytes(32, 8), "c", true);
+  OnionColumnServer server("c", true);
+  server.put("r", client.encrypt(Value(std::int64_t{1})));
+  OnionClient wrong(Bytes(32, 9), "c", true);
+  EXPECT_THROW(server.peel_to_det(wrong.rnd_layer_key(), "c"), Error);
+}
+
+}  // namespace
+}  // namespace datablinder::onion

@@ -1,0 +1,107 @@
+// Paillier cryptosystem: correctness, homomorphic identities, signed
+// encoding and parameterized sweeps over modulus sizes.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "phe/paillier.hpp"
+
+namespace datablinder::phe {
+namespace {
+
+class PaillierFixture : public ::testing::Test {
+ protected:
+  static const PaillierKeyPair& keys() {
+    static const PaillierKeyPair kp = paillier_generate(256);
+    return kp;
+  }
+};
+
+TEST_F(PaillierFixture, EncryptDecryptRoundTrip) {
+  for (std::int64_t m : {0LL, 1LL, -1LL, 42LL, -9999LL, 1234567890LL}) {
+    EXPECT_EQ(keys().priv.decrypt_i64(keys().pub.encrypt_i64(m)), m) << m;
+  }
+}
+
+TEST_F(PaillierFixture, EncryptionIsProbabilistic) {
+  const auto c1 = keys().pub.encrypt_i64(7);
+  const auto c2 = keys().pub.encrypt_i64(7);
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(keys().priv.decrypt_i64(c1), keys().priv.decrypt_i64(c2));
+}
+
+TEST_F(PaillierFixture, HomomorphicAddition) {
+  DetRng rng(11);
+  for (int i = 0; i < 25; ++i) {
+    const std::int64_t a = rng.range(-100000, 100000);
+    const std::int64_t b = rng.range(-100000, 100000);
+    const auto sum = keys().pub.add(keys().pub.encrypt_i64(a), keys().pub.encrypt_i64(b));
+    EXPECT_EQ(keys().priv.decrypt_i64(sum), a + b);
+  }
+}
+
+TEST_F(PaillierFixture, HomomorphicPlaintextOps) {
+  const auto c = keys().pub.encrypt_i64(100);
+  EXPECT_EQ(keys().priv.decrypt_i64(keys().pub.add_plain(c, BigInt(23))), 123);
+  EXPECT_EQ(keys().priv.decrypt_i64(keys().pub.mul_plain(c, BigInt(7))), 700);
+  EXPECT_EQ(keys().priv.decrypt_i64(keys().pub.mul_plain(c, BigInt(0))), 0);
+}
+
+TEST_F(PaillierFixture, RerandomizationPreservesPlaintext) {
+  const auto c = keys().pub.encrypt_i64(555);
+  const auto r = keys().pub.rerandomize(c);
+  EXPECT_NE(c, r);
+  EXPECT_EQ(keys().priv.decrypt_i64(r), 555);
+}
+
+TEST_F(PaillierFixture, EncryptZeroIsAdditiveIdentity) {
+  const auto c = keys().pub.encrypt_i64(321);
+  const auto z = keys().pub.encrypt_zero();
+  EXPECT_EQ(keys().priv.decrypt_i64(keys().pub.add(c, z)), 321);
+}
+
+TEST_F(PaillierFixture, LongAccumulationMatchesPlaintextSum) {
+  // The aggregate tactic's exact usage: fold many encrypted values.
+  DetRng rng(3);
+  BigInt acc(1);
+  std::int64_t expected = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t v = rng.range(0, 10000);
+    expected += v;
+    acc = keys().pub.add(acc == BigInt(1) ? keys().pub.encrypt_i64(v)
+                                          : keys().pub.encrypt_i64(v),
+                         acc == BigInt(1) ? keys().pub.encrypt_zero() : acc);
+  }
+  EXPECT_EQ(keys().priv.decrypt_i64(acc), expected);
+}
+
+TEST_F(PaillierFixture, RejectsOutOfRangeCiphertext) {
+  EXPECT_THROW(keys().priv.decrypt(BigInt(0)), Error);
+  EXPECT_THROW(keys().priv.decrypt(keys().pub.n_squared + BigInt(1)), Error);
+}
+
+TEST(PaillierTest, RejectsTinyModulus) {
+  EXPECT_THROW(paillier_generate(32), Error);
+}
+
+// Property sweep: the homomorphism holds at every modulus size we deploy.
+class PaillierSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PaillierSizeSweep, HomomorphismHolds) {
+  const PaillierKeyPair kp = paillier_generate(GetParam());
+  DetRng rng(GetParam());
+  std::int64_t expected = 0;
+  BigInt acc = kp.pub.encrypt_zero();
+  for (int i = 0; i < 10; ++i) {
+    const std::int64_t v = rng.range(-5000, 5000);
+    expected += v;
+    acc = kp.pub.add(acc, kp.pub.encrypt_i64(v));
+  }
+  EXPECT_EQ(kp.priv.decrypt_i64(acc), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(ModulusSizes, PaillierSizeSweep,
+                         ::testing::Values(128, 256, 512));
+
+}  // namespace
+}  // namespace datablinder::phe

@@ -1,0 +1,204 @@
+// PolicyEngine tests — adaptive tactic selection (§3.2 / §5.1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/status.hpp"
+#include "core/policy.hpp"
+#include "core/tactics/builtin.hpp"
+#include "fhir/observation.hpp"
+
+namespace datablinder::core {
+namespace {
+
+using schema::Aggregate;
+using schema::FieldAnnotation;
+using schema::FieldType;
+using schema::Operation;
+using schema::ProtectionClass;
+using schema::Schema;
+
+class PolicyFixture : public ::testing::Test {
+ protected:
+  PolicyFixture() : policy_(registry_) { register_builtin_tactics(registry_); }
+
+  static FieldAnnotation ann(ProtectionClass c, std::set<Operation> ops,
+                             std::set<Aggregate> aggs = {}) {
+    FieldAnnotation a;
+    a.sensitive = true;
+    a.protection = c;
+    a.operations = std::move(ops);
+    a.aggregates = std::move(aggs);
+    return a;
+  }
+
+  TacticRegistry registry_;
+  PolicyEngine policy_;
+};
+
+TEST_F(PolicyFixture, Section51SelectionTableReproduced) {
+  const CollectionPlan plan = policy_.select(fhir::observation_schema("obs"));
+
+  // status -> BIEX-2Lev, "Boolean & cross-field".
+  EXPECT_EQ(plan.fields.at("status").tactics, std::vector<std::string>{"BIEX-2Lev"});
+  // code -> BIEX-2Lev.
+  EXPECT_EQ(plan.fields.at("code").tactics, std::vector<std::string>{"BIEX-2Lev"});
+  // subject -> Mitra, "Identifier protection level".
+  EXPECT_EQ(plan.fields.at("subject").tactics, std::vector<std::string>{"Mitra"});
+  EXPECT_NE(plan.fields.at("subject").reason.find("Identifier"), std::string::npos);
+  // effective / issued -> DET, OPE, "Range queries".
+  EXPECT_EQ(plan.fields.at("effective").tactics,
+            (std::vector<std::string>{"DET", "OPE"}));
+  EXPECT_EQ(plan.fields.at("issued").tactics, (std::vector<std::string>{"DET", "OPE"}));
+  // performer -> RND, "Structure protection level".
+  EXPECT_EQ(plan.fields.at("performer").tactics, std::vector<std::string>{"RND"});
+  EXPECT_NE(plan.fields.at("performer").reason.find("Structure"), std::string::npos);
+  // value -> BIEX-2Lev, Paillier, "Cloud-side averages".
+  EXPECT_EQ(plan.fields.at("value").tactics,
+            (std::vector<std::string>{"BIEX-2Lev", "Paillier"}));
+  EXPECT_NE(plan.fields.at("value").reason.find("averages"), std::string::npos);
+
+  // Non-sensitive fields are absent from the plan.
+  EXPECT_EQ(plan.fields.count("identifier"), 0u);
+  EXPECT_EQ(plan.fields.count("interpretation"), 0u);
+}
+
+TEST_F(PolicyFixture, LeastProtectiveEligibleTacticWins) {
+  Schema s("t");
+  s.field("f4", ann(ProtectionClass::kClass4, {Operation::kInsert, Operation::kEquality}));
+  s.field("f3", ann(ProtectionClass::kClass3, {Operation::kInsert, Operation::kEquality}));
+  s.field("f2", ann(ProtectionClass::kClass2, {Operation::kInsert, Operation::kEquality}));
+  s.field("f1", ann(ProtectionClass::kClass1, {Operation::kInsert, Operation::kEquality}));
+  const CollectionPlan plan = policy_.select(s);
+  EXPECT_EQ(plan.fields.at("f4").eq_tactic, "DET");    // class 4 allowed
+  EXPECT_EQ(plan.fields.at("f3").eq_tactic, "Mitra");  // class 3: best <= 3 is class-2 Mitra
+  EXPECT_EQ(plan.fields.at("f2").eq_tactic, "Mitra");
+  EXPECT_EQ(plan.fields.at("f1").eq_tactic, "RND");    // only class 1 fits
+}
+
+TEST_F(PolicyFixture, WeakestLinkEffectiveClass) {
+  Schema s("t");
+  s.field("f", ann(ProtectionClass::kClass5,
+                   {Operation::kInsert, Operation::kEquality, Operation::kRange}));
+  const CollectionPlan plan = policy_.select(s);
+  // DET (C4) + OPE (C5): effective protection is the weakest, C5.
+  EXPECT_EQ(plan.fields.at("f").effective, ProtectionClass::kClass5);
+}
+
+TEST_F(PolicyFixture, RangeBelowClass5SelectsBrcOrFails) {
+  // Below C5 the order-leaking tactics are inadmissible; the SSE-based
+  // RangeBRC (Class 3) steps in down to C3, below which nothing serves RG.
+  Schema s4("t4");
+  s4.field("f", ann(ProtectionClass::kClass4, {Operation::kInsert, Operation::kRange}));
+  EXPECT_EQ(policy_.select(s4).fields.at("f").range_tactic, "RangeBRC");
+
+  Schema s3("t3");
+  s3.field("f", ann(ProtectionClass::kClass3, {Operation::kInsert, Operation::kRange}));
+  EXPECT_EQ(policy_.select(s3).fields.at("f").range_tactic, "RangeBRC");
+
+  Schema s2("t2");
+  s2.field("f", ann(ProtectionClass::kClass2, {Operation::kInsert, Operation::kRange}));
+  EXPECT_THROW(policy_.select(s2), Error);
+}
+
+TEST_F(PolicyFixture, BooleanBelowClass3IsViolation) {
+  Schema s("t");
+  s.field("f", ann(ProtectionClass::kClass2, {Operation::kInsert, Operation::kBoolean}));
+  EXPECT_THROW(policy_.select(s), Error);
+}
+
+TEST_F(PolicyFixture, BooleanAtClass5PrefersDetCombination) {
+  Schema s("t");
+  s.field("f", ann(ProtectionClass::kClass5, {Operation::kInsert, Operation::kBoolean,
+                                              Operation::kEquality}));
+  const CollectionPlan plan = policy_.select(s);
+  EXPECT_TRUE(plan.boolean_tactic.empty());
+  EXPECT_EQ(plan.fields.at("f").eq_tactic, "DET");
+}
+
+TEST_F(PolicyFixture, MinMaxRequiresRangeTactic) {
+  Schema s1("t1");
+  s1.field("f", ann(ProtectionClass::kClass5, {Operation::kInsert, Operation::kRange},
+                    {Aggregate::kMin, Aggregate::kMax}));
+  const CollectionPlan plan = policy_.select(s1);
+  EXPECT_TRUE(plan.fields.at("f").minmax_via_range);
+
+  Schema s2("t2");
+  s2.field("f", ann(ProtectionClass::kClass5, {Operation::kInsert}, {Aggregate::kMin}));
+  EXPECT_THROW(policy_.select(s2), Error);
+}
+
+TEST_F(PolicyFixture, AggregatesSelectPaillier) {
+  Schema s("t");
+  s.field("f", ann(ProtectionClass::kClass1, {Operation::kInsert},
+                   {Aggregate::kSum, Aggregate::kAverage, Aggregate::kCount}));
+  const CollectionPlan plan = policy_.select(s);
+  EXPECT_EQ(plan.fields.at("f").agg_tactic, "Paillier");
+}
+
+TEST_F(PolicyFixture, InsertOnlySensitiveFieldGetsRnd) {
+  Schema s("t");
+  s.field("f", ann(ProtectionClass::kClass1, {Operation::kInsert}));
+  const CollectionPlan plan = policy_.select(s);
+  EXPECT_EQ(plan.fields.at("f").tactics, std::vector<std::string>{"RND"});
+  EXPECT_EQ(plan.fields.at("f").effective, ProtectionClass::kClass1);
+}
+
+TEST_F(PolicyFixture, CryptoAgilityPreferenceSwap) {
+  // Crypto agility: a registry that ranks BIEX-ZMF above BIEX-2Lev flips
+  // the boolean selection without any application change.
+  TacticRegistry alt;
+  register_det_tactic(alt);
+  register_rnd_tactic(alt);
+  register_mitra_tactic(alt);
+  {
+    TacticDescriptor d = [] {
+      TacticRegistry tmp;
+      register_biexzmf_tactic(tmp);
+      return tmp.descriptor("BIEX-ZMF");
+    }();
+    d.preference = 100;  // promote ZMF
+    alt.register_boolean_tactic(std::move(d), [](const GatewayContext&) {
+      return std::unique_ptr<BooleanTactic>{};
+    });
+  }
+  register_biex2lev_tactic(alt);
+  register_ope_tactic(alt);
+  register_ore_tactic(alt);
+  register_paillier_tactic(alt);
+
+  PolicyEngine alt_policy(alt);
+  const CollectionPlan plan = alt_policy.select(fhir::observation_schema("obs"));
+  EXPECT_EQ(plan.boolean_tactic, "BIEX-ZMF");
+}
+
+TEST_F(PolicyFixture, SelectionTableRenders) {
+  const CollectionPlan plan = policy_.select(fhir::observation_schema("obs"));
+  const std::string table = plan.to_table();
+  EXPECT_NE(table.find("subject"), std::string::npos);
+  EXPECT_NE(table.find("Mitra"), std::string::npos);
+  EXPECT_NE(table.find("Reason"), std::string::npos);
+}
+
+TEST_F(PolicyFixture, RegistryIntrospection) {
+  EXPECT_TRUE(registry_.has("DET"));
+  EXPECT_FALSE(registry_.has("Nonexistent"));
+  EXPECT_THROW(registry_.descriptor("Nonexistent"), Error);
+  EXPECT_TRUE(registry_.is_boolean("BIEX-2Lev"));
+  EXPECT_FALSE(registry_.is_boolean("DET"));
+  EXPECT_EQ(registry_.names().size(), 10u);
+  // Table 2 interface counts for our implementations.
+  EXPECT_EQ(registry_.descriptor("DET").gateway_interfaces.size(), 9u);
+  EXPECT_EQ(registry_.descriptor("DET").cloud_interfaces.size(), 6u);
+  EXPECT_EQ(registry_.descriptor("Mitra").gateway_interfaces.size(), 7u);
+  EXPECT_EQ(registry_.descriptor("Mitra").cloud_interfaces.size(), 5u);
+  EXPECT_EQ(registry_.descriptor("Sophos").gateway_interfaces.size(), 6u);
+  EXPECT_EQ(registry_.descriptor("Sophos").cloud_interfaces.size(), 4u);
+  EXPECT_EQ(registry_.descriptor("BIEX-2Lev").gateway_interfaces.size(), 8u);
+  EXPECT_EQ(registry_.descriptor("BIEX-2Lev").cloud_interfaces.size(), 5u);
+  EXPECT_EQ(registry_.descriptor("OPE").gateway_interfaces.size(), 3u);
+  EXPECT_EQ(registry_.descriptor("Paillier").cloud_interfaces.size(), 3u);
+}
+
+}  // namespace
+}  // namespace datablinder::core

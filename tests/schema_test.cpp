@@ -1,0 +1,121 @@
+// Schema and annotation model tests (§3.2 data access model).
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+#include "fhir/observation.hpp"
+#include "schema/schema.hpp"
+
+namespace datablinder::schema {
+namespace {
+
+using doc::Document;
+using doc::Value;
+
+Schema tiny_schema() {
+  Schema s("tiny");
+  FieldAnnotation name;
+  name.type = FieldType::kString;
+  name.sensitive = true;
+  name.required = true;
+  name.protection = ProtectionClass::kClass2;
+  name.operations = {Operation::kInsert, Operation::kEquality};
+  s.field("name", name);
+  s.plain_field("note", FieldType::kString);
+  return s;
+}
+
+TEST(SchemaTest, ValidationAcceptsConformingDocument) {
+  Document d;
+  d.id = "1";
+  d.set("name", Value("alice"));
+  d.set("note", Value("ok"));
+  EXPECT_NO_THROW(tiny_schema().validate(d));
+}
+
+TEST(SchemaTest, MissingRequiredFieldRejected) {
+  Document d;
+  d.set("note", Value("no name"));
+  EXPECT_THROW(tiny_schema().validate(d), Error);
+}
+
+TEST(SchemaTest, UnknownFieldRejected) {
+  Document d;
+  d.set("name", Value("a"));
+  d.set("surprise", Value("x"));
+  EXPECT_THROW(tiny_schema().validate(d), Error);
+}
+
+TEST(SchemaTest, TypeMismatchRejected) {
+  Document d;
+  d.set("name", Value(std::int64_t{5}));
+  EXPECT_THROW(tiny_schema().validate(d), Error);
+}
+
+TEST(SchemaTest, IntAcceptedWhereDoubleDeclared) {
+  Schema s("nums");
+  s.plain_field("v", FieldType::kDouble);
+  Document d;
+  d.set("v", Value(std::int64_t{7}));
+  EXPECT_NO_THROW(s.validate(d));
+}
+
+TEST(SchemaTest, DuplicateFieldRejected) {
+  Schema s("dup");
+  s.plain_field("a", FieldType::kAny);
+  EXPECT_THROW(s.plain_field("a", FieldType::kAny), Error);
+}
+
+TEST(SchemaTest, AnnotationLookup) {
+  const Schema s = tiny_schema();
+  EXPECT_TRUE(s.annotation("name").sensitive);
+  EXPECT_TRUE(s.annotation("name").needs(Operation::kEquality));
+  EXPECT_FALSE(s.annotation("name").needs(Operation::kRange));
+  EXPECT_THROW(s.annotation("missing"), Error);
+}
+
+TEST(SchemaTest, TypeMatching) {
+  EXPECT_TRUE(type_matches(FieldType::kAny, Value(Bytes{1})));
+  EXPECT_TRUE(type_matches(FieldType::kString, Value("x")));
+  EXPECT_FALSE(type_matches(FieldType::kString, Value(std::int64_t{1})));
+  EXPECT_TRUE(type_matches(FieldType::kInt, Value(std::int64_t{1})));
+  EXPECT_FALSE(type_matches(FieldType::kInt, Value(1.5)));
+  EXPECT_TRUE(type_matches(FieldType::kDouble, Value(std::int64_t{1})));
+  EXPECT_TRUE(type_matches(FieldType::kBool, Value(false)));
+}
+
+TEST(SchemaTest, ToStringHelpers) {
+  EXPECT_EQ(to_string(ProtectionClass::kClass1), "C1(structure)");
+  EXPECT_EQ(to_string(ProtectionClass::kClass5), "C5(order)");
+  EXPECT_EQ(to_string(Operation::kBoolean), "BL");
+  EXPECT_EQ(to_string(Aggregate::kAverage), "avg");
+  EXPECT_EQ(to_string(FieldType::kDouble), "double");
+}
+
+TEST(FhirSchemaTest, ObservationSchemaMatchesPaperAnnotations) {
+  const Schema s = fhir::observation_schema();
+  EXPECT_EQ(s.annotation("status").protection, ProtectionClass::kClass3);
+  EXPECT_TRUE(s.annotation("status").needs(Operation::kBoolean));
+  EXPECT_EQ(s.annotation("subject").protection, ProtectionClass::kClass2);
+  EXPECT_EQ(s.annotation("effective").protection, ProtectionClass::kClass5);
+  EXPECT_TRUE(s.annotation("effective").needs(Operation::kRange));
+  EXPECT_EQ(s.annotation("performer").protection, ProtectionClass::kClass1);
+  EXPECT_FALSE(s.annotation("performer").needs(Operation::kEquality));
+  EXPECT_TRUE(s.annotation("value").needs(Aggregate::kAverage));
+  EXPECT_FALSE(s.annotation("identifier").sensitive);
+}
+
+TEST(FhirGeneratorTest, GeneratesValidObservations) {
+  fhir::ObservationGenerator gen(1);
+  const Schema s = fhir::observation_schema();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NO_THROW(s.validate(gen.next()));
+  }
+}
+
+TEST(FhirGeneratorTest, DeterministicForSameSeed) {
+  fhir::ObservationGenerator a(5), b(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace datablinder::schema

@@ -1,0 +1,153 @@
+// 2Lev static encrypted multimap tests: build/query round trips across
+// both storage levels, padding uniformity, shuffle coverage, tampering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "crypto/gcm.hpp"
+#include "sse/twolev.hpp"
+
+namespace datablinder::sse {
+namespace {
+
+std::vector<DocId> query(const TwoLevClient& client, const TwoLevServerIndex& index,
+                         const std::string& keyword) {
+  const TwoLevToken t = client.token(keyword);
+  const auto entry = TwoLevServer::lookup(index, t.label);
+  std::vector<Bytes> buckets;
+  if (entry) {
+    const crypto::AesGcm gcm(t.entry_key);
+    auto plain = gcm.open_with_nonce(*entry, t.label);
+    if (plain) {
+      buckets = TwoLevServer::fetch_buckets(index, TwoLevClient::bucket_indices(*plain));
+    }
+  }
+  return client.resolve(t, entry, buckets);
+}
+
+std::vector<DocId> sorted(std::vector<DocId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(TwoLevTest, InlineAndBucketedListsRoundTrip) {
+  TwoLevClient client(Bytes(32, 1), TwoLevParams{4, 8});
+  std::map<std::string, std::vector<DocId>> mm;
+  mm["small"] = {"a", "b"};                        // inline (<= 4)
+  mm["edge"] = {"a", "b", "c", "d"};               // inline boundary
+  std::vector<DocId> big;
+  for (int i = 0; i < 37; ++i) big.push_back("doc" + std::to_string(i));
+  mm["big"] = big;                                 // 5 buckets of 8
+
+  const TwoLevServerIndex index = client.build(mm);
+  EXPECT_EQ(index.dictionary.size(), 3u);
+  EXPECT_EQ(index.bucket_array.size(), 5u);  // ceil(37/8)
+
+  EXPECT_EQ(sorted(query(client, index, "small")), sorted(mm["small"]));
+  EXPECT_EQ(sorted(query(client, index, "edge")), sorted(mm["edge"]));
+  EXPECT_EQ(sorted(query(client, index, "big")), sorted(big));
+  EXPECT_TRUE(query(client, index, "absent").empty());
+}
+
+TEST(TwoLevTest, BucketsAreUniformLength) {
+  TwoLevClient client(Bytes(32, 2), TwoLevParams{0, 4});
+  std::map<std::string, std::vector<DocId>> mm;
+  mm["w1"] = {"x"};                                     // 1 bucket, short ids
+  mm["w2"] = {std::string(40, 'L'), std::string(40, 'M'),
+              std::string(40, 'N'), std::string(40, 'O'), std::string(40, 'P')};
+  const TwoLevServerIndex index = client.build(mm);
+  ASSERT_GE(index.bucket_array.size(), 3u);
+  // Every bucket ciphertext has identical length — the array leaks only
+  // its total size.
+  const std::size_t len = index.bucket_array[0].size();
+  for (const auto& b : index.bucket_array) EXPECT_EQ(b.size(), len);
+}
+
+TEST(TwoLevTest, RandomizedAgainstReference) {
+  DetRng rng(9);
+  std::map<std::string, std::vector<DocId>> mm;
+  for (int k = 0; k < 30; ++k) {
+    const std::string kw = "kw" + std::to_string(k);
+    const std::size_t n = rng.uniform(25);
+    for (std::size_t i = 0; i < n; ++i) {
+      mm[kw].push_back("d" + std::to_string(k) + "_" + std::to_string(i));
+    }
+  }
+  TwoLevClient client(Bytes(32, 3), TwoLevParams{3, 5});
+  const TwoLevServerIndex index = client.build(mm);
+  for (const auto& [kw, ids] : mm) {
+    EXPECT_EQ(sorted(query(client, index, kw)), sorted(ids)) << kw;
+  }
+}
+
+TEST(TwoLevTest, ShuffleActuallyDisperses) {
+  // A keyword's buckets should not occupy a contiguous array prefix.
+  std::map<std::string, std::vector<DocId>> mm;
+  for (int k = 0; k < 8; ++k) {
+    for (int i = 0; i < 16; ++i) {
+      mm["kw" + std::to_string(k)].push_back("d" + std::to_string(k * 100 + i));
+    }
+  }
+  TwoLevClient client(Bytes(32, 4), TwoLevParams{0, 4});
+  const TwoLevServerIndex index = client.build(mm);
+
+  const TwoLevToken t = client.token("kw0");
+  const auto entry = TwoLevServer::lookup(index, t.label);
+  ASSERT_TRUE(entry.has_value());
+  const crypto::AesGcm gcm(t.entry_key);
+  const auto plain = gcm.open_with_nonce(*entry, t.label);
+  ASSERT_TRUE(plain.has_value());
+  const auto indices = TwoLevClient::bucket_indices(*plain);
+  ASSERT_EQ(indices.size(), 4u);
+  bool contiguous_from_zero = true;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] != i) contiguous_from_zero = false;
+  }
+  EXPECT_FALSE(contiguous_from_zero);
+}
+
+TEST(TwoLevTest, TamperedStateFailsLoudly) {
+  std::map<std::string, std::vector<DocId>> mm;
+  for (int i = 0; i < 20; ++i) mm["w"].push_back("d" + std::to_string(i));
+  TwoLevClient client(Bytes(32, 5), TwoLevParams{2, 4});
+  TwoLevServerIndex index = client.build(mm);
+
+  // Flip a byte in a bucket: resolve must throw, not return garbage ids.
+  index.bucket_array[0][20] ^= 1;
+  index.bucket_array[1][20] ^= 1;
+  index.bucket_array[2][20] ^= 1;
+  index.bucket_array[3][20] ^= 1;
+  index.bucket_array[4][20] ^= 1;
+  EXPECT_THROW(query(client, index, "w"), Error);
+}
+
+TEST(TwoLevTest, OutOfRangeBucketIndexRejected) {
+  TwoLevServerIndex index;
+  EXPECT_THROW(TwoLevServer::fetch_buckets(index, {0}), Error);
+}
+
+TEST(TwoLevTest, WrongKeyYieldsNothingUseful) {
+  std::map<std::string, std::vector<DocId>> mm;
+  mm["w"] = {"a"};
+  TwoLevClient builder(Bytes(32, 6));
+  const TwoLevServerIndex index = builder.build(mm);
+  TwoLevClient intruder(Bytes(32, 7));
+  // Wrong label: dictionary miss.
+  const TwoLevToken t = intruder.token("w");
+  EXPECT_FALSE(TwoLevServer::lookup(index, t.label).has_value());
+}
+
+TEST(TwoLevTest, StorageAccounting) {
+  std::map<std::string, std::vector<DocId>> mm;
+  for (int i = 0; i < 50; ++i) mm["w"].push_back("doc" + std::to_string(i));
+  TwoLevClient client(Bytes(32, 8), TwoLevParams{2, 8});
+  const TwoLevServerIndex index = client.build(mm);
+  EXPECT_GT(index.storage_bytes(),
+            index.dictionary.storage_bytes());  // buckets counted too
+}
+
+}  // namespace
+}  // namespace datablinder::sse

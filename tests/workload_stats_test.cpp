@@ -1,0 +1,93 @@
+// Workload statistics tests: the latency percentiles the §5.2 table is
+// built from must be computed correctly, or every reproduced number lies.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "workload/stats.hpp"
+
+namespace datablinder::workload {
+namespace {
+
+TEST(LatencyRecorderTest, EmptySummaryIsZero) {
+  const LatencySummary s = LatencyRecorder().summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean_us, 0.0);
+  EXPECT_EQ(s.p99_us, 0.0);
+}
+
+TEST(LatencyRecorderTest, SingleSample) {
+  LatencyRecorder r;
+  r.record_ns(5000);  // 5 us
+  const LatencySummary s = r.summarize();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_us, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50_us, 5.0);
+  EXPECT_DOUBLE_EQ(s.p99_us, 5.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 5.0);
+}
+
+TEST(LatencyRecorderTest, PercentilesOnKnownDistribution) {
+  LatencyRecorder r;
+  // 1..100 us — percentiles are directly readable.
+  for (int i = 1; i <= 100; ++i) r.record_ns(static_cast<std::uint64_t>(i) * 1000);
+  const LatencySummary s = r.summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean_us, 50.5);
+  EXPECT_NEAR(s.p50_us, 50.0, 1.0);
+  EXPECT_NEAR(s.p75_us, 75.0, 1.0);
+  EXPECT_NEAR(s.p99_us, 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 100.0);
+}
+
+TEST(LatencyRecorderTest, OrderIndependence) {
+  // Percentiles must not depend on arrival order (samples merge from
+  // concurrent user threads in arbitrary interleavings).
+  LatencyRecorder forward, backward;
+  for (int i = 1; i <= 500; ++i) forward.record_ns(static_cast<std::uint64_t>(i));
+  for (int i = 500; i >= 1; --i) backward.record_ns(static_cast<std::uint64_t>(i));
+  const auto f = forward.summarize();
+  const auto b = backward.summarize();
+  EXPECT_DOUBLE_EQ(f.p50_us, b.p50_us);
+  EXPECT_DOUBLE_EQ(f.p99_us, b.p99_us);
+  EXPECT_DOUBLE_EQ(f.mean_us, b.mean_us);
+}
+
+TEST(LatencyRecorderTest, MergeEqualsUnion) {
+  DetRng rng(8);
+  LatencyRecorder a, b, merged_ref;
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t v = rng.uniform(1000000);
+    (i % 2 ? a : b).record_ns(v);
+    merged_ref.record_ns(v);
+  }
+  LatencyRecorder merged;
+  merged.merge(a);
+  merged.merge(b);
+  const auto m = merged.summarize();
+  const auto ref = merged_ref.summarize();
+  EXPECT_EQ(m.count, ref.count);
+  EXPECT_DOUBLE_EQ(m.p50_us, ref.p50_us);
+  EXPECT_DOUBLE_EQ(m.p75_us, ref.p75_us);
+  EXPECT_DOUBLE_EQ(m.p99_us, ref.p99_us);
+  EXPECT_DOUBLE_EQ(m.mean_us, ref.mean_us);
+}
+
+TEST(LatencyRecorderTest, SkewedTailShowsInP99NotP50) {
+  LatencyRecorder r;
+  for (int i = 0; i < 99; ++i) r.record_ns(1000);  // 1 us baseline
+  r.record_ns(10000000);                            // one 10 ms outlier
+  const auto s = r.summarize();
+  EXPECT_NEAR(s.p50_us, 1.0, 0.01);
+  EXPECT_GT(s.p99_us, 1000.0);  // the Paillier-style tail is visible
+}
+
+TEST(LatencyRecorderTest, RenderedSummaryContainsFields) {
+  LatencyRecorder r;
+  r.record_ns(1500000);
+  const std::string text = to_string(r.summarize());
+  EXPECT_NE(text.find("count=1"), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace datablinder::workload
