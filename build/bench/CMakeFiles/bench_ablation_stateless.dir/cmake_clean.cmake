@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stateless.dir/bench_ablation_stateless.cpp.o"
+  "CMakeFiles/bench_ablation_stateless.dir/bench_ablation_stateless.cpp.o.d"
+  "bench_ablation_stateless"
+  "bench_ablation_stateless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stateless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_table.dir/bench_latency_table.cpp.o"
+  "CMakeFiles/bench_latency_table.dir/bench_latency_table.cpp.o.d"
+  "bench_latency_table"
+  "bench_latency_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

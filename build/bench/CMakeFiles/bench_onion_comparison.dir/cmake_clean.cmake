@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_onion_comparison.dir/bench_onion_comparison.cpp.o"
+  "CMakeFiles/bench_onion_comparison.dir/bench_onion_comparison.cpp.o.d"
+  "bench_onion_comparison"
+  "bench_onion_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_onion_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

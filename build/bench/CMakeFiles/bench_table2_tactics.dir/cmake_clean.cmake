@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_tactics.dir/bench_table2_tactics.cpp.o"
+  "CMakeFiles/bench_table2_tactics.dir/bench_table2_tactics.cpp.o.d"
+  "bench_table2_tactics"
+  "bench_table2_tactics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_tactics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_native.dir/cloud_native.cpp.o"
+  "CMakeFiles/cloud_native.dir/cloud_native.cpp.o.d"
+  "cloud_native"
+  "cloud_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_agility.dir/crypto_agility.cpp.o"
+  "CMakeFiles/crypto_agility.dir/crypto_agility.cpp.o.d"
+  "crypto_agility"
+  "crypto_agility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_agility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efinance_audit.dir/efinance_audit.cpp.o"
+  "CMakeFiles/efinance_audit.dir/efinance_audit.cpp.o.d"
+  "efinance_audit"
+  "efinance_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efinance_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healthcare_fhir.dir/healthcare_fhir.cpp.o"
+  "CMakeFiles/healthcare_fhir.dir/healthcare_fhir.cpp.o.d"
+  "healthcare_fhir"
+  "healthcare_fhir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healthcare_fhir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,80 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bigint/bigint.cpp" "src/CMakeFiles/datablinder.dir/bigint/bigint.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/bigint/bigint.cpp.o.d"
+  "/root/repo/src/bigint/prime.cpp" "src/CMakeFiles/datablinder.dir/bigint/prime.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/bigint/prime.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/datablinder.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/hex.cpp" "src/CMakeFiles/datablinder.dir/common/hex.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/common/hex.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/datablinder.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/datablinder.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/datablinder.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/common/status.cpp.o.d"
+  "/root/repo/src/core/cloud_node.cpp" "src/CMakeFiles/datablinder.dir/core/cloud_node.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/core/cloud_node.cpp.o.d"
+  "/root/repo/src/core/gateway.cpp" "src/CMakeFiles/datablinder.dir/core/gateway.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/core/gateway.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/datablinder.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/CMakeFiles/datablinder.dir/core/policy.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/core/policy.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/CMakeFiles/datablinder.dir/core/registry.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/core/registry.cpp.o.d"
+  "/root/repo/src/core/tactic.cpp" "src/CMakeFiles/datablinder.dir/core/tactic.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/core/tactic.cpp.o.d"
+  "/root/repo/src/core/tactics/biex2lev_tactic.cpp" "src/CMakeFiles/datablinder.dir/core/tactics/biex2lev_tactic.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/core/tactics/biex2lev_tactic.cpp.o.d"
+  "/root/repo/src/core/tactics/biexzmf_tactic.cpp" "src/CMakeFiles/datablinder.dir/core/tactics/biexzmf_tactic.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/core/tactics/biexzmf_tactic.cpp.o.d"
+  "/root/repo/src/core/tactics/builtin.cpp" "src/CMakeFiles/datablinder.dir/core/tactics/builtin.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/core/tactics/builtin.cpp.o.d"
+  "/root/repo/src/core/tactics/det_tactic.cpp" "src/CMakeFiles/datablinder.dir/core/tactics/det_tactic.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/core/tactics/det_tactic.cpp.o.d"
+  "/root/repo/src/core/tactics/mitra_stateless_tactic.cpp" "src/CMakeFiles/datablinder.dir/core/tactics/mitra_stateless_tactic.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/core/tactics/mitra_stateless_tactic.cpp.o.d"
+  "/root/repo/src/core/tactics/mitra_tactic.cpp" "src/CMakeFiles/datablinder.dir/core/tactics/mitra_tactic.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/core/tactics/mitra_tactic.cpp.o.d"
+  "/root/repo/src/core/tactics/ope_tactic.cpp" "src/CMakeFiles/datablinder.dir/core/tactics/ope_tactic.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/core/tactics/ope_tactic.cpp.o.d"
+  "/root/repo/src/core/tactics/ore_tactic.cpp" "src/CMakeFiles/datablinder.dir/core/tactics/ore_tactic.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/core/tactics/ore_tactic.cpp.o.d"
+  "/root/repo/src/core/tactics/paillier_tactic.cpp" "src/CMakeFiles/datablinder.dir/core/tactics/paillier_tactic.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/core/tactics/paillier_tactic.cpp.o.d"
+  "/root/repo/src/core/tactics/rangebrc_tactic.cpp" "src/CMakeFiles/datablinder.dir/core/tactics/rangebrc_tactic.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/core/tactics/rangebrc_tactic.cpp.o.d"
+  "/root/repo/src/core/tactics/rnd_tactic.cpp" "src/CMakeFiles/datablinder.dir/core/tactics/rnd_tactic.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/core/tactics/rnd_tactic.cpp.o.d"
+  "/root/repo/src/core/tactics/sophos_tactic.cpp" "src/CMakeFiles/datablinder.dir/core/tactics/sophos_tactic.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/core/tactics/sophos_tactic.cpp.o.d"
+  "/root/repo/src/crypto/aes.cpp" "src/CMakeFiles/datablinder.dir/crypto/aes.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/crypto/aes.cpp.o.d"
+  "/root/repo/src/crypto/ctr.cpp" "src/CMakeFiles/datablinder.dir/crypto/ctr.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/crypto/ctr.cpp.o.d"
+  "/root/repo/src/crypto/gcm.cpp" "src/CMakeFiles/datablinder.dir/crypto/gcm.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/crypto/gcm.cpp.o.d"
+  "/root/repo/src/crypto/hkdf.cpp" "src/CMakeFiles/datablinder.dir/crypto/hkdf.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/crypto/hkdf.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/datablinder.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/prf.cpp" "src/CMakeFiles/datablinder.dir/crypto/prf.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/crypto/prf.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/datablinder.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/siv.cpp" "src/CMakeFiles/datablinder.dir/crypto/siv.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/crypto/siv.cpp.o.d"
+  "/root/repo/src/doc/binary_codec.cpp" "src/CMakeFiles/datablinder.dir/doc/binary_codec.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/doc/binary_codec.cpp.o.d"
+  "/root/repo/src/doc/json.cpp" "src/CMakeFiles/datablinder.dir/doc/json.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/doc/json.cpp.o.d"
+  "/root/repo/src/doc/value.cpp" "src/CMakeFiles/datablinder.dir/doc/value.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/doc/value.cpp.o.d"
+  "/root/repo/src/fhir/observation.cpp" "src/CMakeFiles/datablinder.dir/fhir/observation.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/fhir/observation.cpp.o.d"
+  "/root/repo/src/kms/key_manager.cpp" "src/CMakeFiles/datablinder.dir/kms/key_manager.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/kms/key_manager.cpp.o.d"
+  "/root/repo/src/net/channel.cpp" "src/CMakeFiles/datablinder.dir/net/channel.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/net/channel.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/CMakeFiles/datablinder.dir/net/message.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/net/message.cpp.o.d"
+  "/root/repo/src/net/rpc.cpp" "src/CMakeFiles/datablinder.dir/net/rpc.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/net/rpc.cpp.o.d"
+  "/root/repo/src/onion/onion.cpp" "src/CMakeFiles/datablinder.dir/onion/onion.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/onion/onion.cpp.o.d"
+  "/root/repo/src/phe/elgamal.cpp" "src/CMakeFiles/datablinder.dir/phe/elgamal.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/phe/elgamal.cpp.o.d"
+  "/root/repo/src/phe/paillier.cpp" "src/CMakeFiles/datablinder.dir/phe/paillier.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/phe/paillier.cpp.o.d"
+  "/root/repo/src/ppe/det.cpp" "src/CMakeFiles/datablinder.dir/ppe/det.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/ppe/det.cpp.o.d"
+  "/root/repo/src/ppe/ope.cpp" "src/CMakeFiles/datablinder.dir/ppe/ope.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/ppe/ope.cpp.o.d"
+  "/root/repo/src/ppe/ore.cpp" "src/CMakeFiles/datablinder.dir/ppe/ore.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/ppe/ore.cpp.o.d"
+  "/root/repo/src/ppe/rnd.cpp" "src/CMakeFiles/datablinder.dir/ppe/rnd.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/ppe/rnd.cpp.o.d"
+  "/root/repo/src/schema/schema.cpp" "src/CMakeFiles/datablinder.dir/schema/schema.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/schema/schema.cpp.o.d"
+  "/root/repo/src/sse/iex2lev.cpp" "src/CMakeFiles/datablinder.dir/sse/iex2lev.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/sse/iex2lev.cpp.o.d"
+  "/root/repo/src/sse/iexzmf.cpp" "src/CMakeFiles/datablinder.dir/sse/iexzmf.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/sse/iexzmf.cpp.o.d"
+  "/root/repo/src/sse/index_common.cpp" "src/CMakeFiles/datablinder.dir/sse/index_common.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/sse/index_common.cpp.o.d"
+  "/root/repo/src/sse/mitra.cpp" "src/CMakeFiles/datablinder.dir/sse/mitra.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/sse/mitra.cpp.o.d"
+  "/root/repo/src/sse/mitra_stateless.cpp" "src/CMakeFiles/datablinder.dir/sse/mitra_stateless.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/sse/mitra_stateless.cpp.o.d"
+  "/root/repo/src/sse/range_brc.cpp" "src/CMakeFiles/datablinder.dir/sse/range_brc.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/sse/range_brc.cpp.o.d"
+  "/root/repo/src/sse/sophos.cpp" "src/CMakeFiles/datablinder.dir/sse/sophos.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/sse/sophos.cpp.o.d"
+  "/root/repo/src/sse/twolev.cpp" "src/CMakeFiles/datablinder.dir/sse/twolev.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/sse/twolev.cpp.o.d"
+  "/root/repo/src/store/docstore.cpp" "src/CMakeFiles/datablinder.dir/store/docstore.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/store/docstore.cpp.o.d"
+  "/root/repo/src/store/kvstore.cpp" "src/CMakeFiles/datablinder.dir/store/kvstore.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/store/kvstore.cpp.o.d"
+  "/root/repo/src/workload/loadgen.cpp" "src/CMakeFiles/datablinder.dir/workload/loadgen.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/workload/loadgen.cpp.o.d"
+  "/root/repo/src/workload/scenarios.cpp" "src/CMakeFiles/datablinder.dir/workload/scenarios.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/workload/scenarios.cpp.o.d"
+  "/root/repo/src/workload/stats.cpp" "src/CMakeFiles/datablinder.dir/workload/stats.cpp.o" "gcc" "src/CMakeFiles/datablinder.dir/workload/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

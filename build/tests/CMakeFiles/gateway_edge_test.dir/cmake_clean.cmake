@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_edge_test.dir/gateway_edge_test.cpp.o"
+  "CMakeFiles/gateway_edge_test.dir/gateway_edge_test.cpp.o.d"
+  "gateway_edge_test"
+  "gateway_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kms_test.dir/kms_test.cpp.o"
+  "CMakeFiles/kms_test.dir/kms_test.cpp.o.d"
+  "kms_test"
+  "kms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

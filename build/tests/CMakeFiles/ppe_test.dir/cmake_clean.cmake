@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppe_test.dir/ppe_test.cpp.o"
+  "CMakeFiles/ppe_test.dir/ppe_test.cpp.o.d"
+  "ppe_test"
+  "ppe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_brc_test.dir/range_brc_test.cpp.o"
+  "CMakeFiles/range_brc_test.dir/range_brc_test.cpp.o.d"
+  "range_brc_test"
+  "range_brc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_brc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

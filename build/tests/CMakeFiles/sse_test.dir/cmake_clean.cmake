@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sse_test.dir/sse_test.cpp.o"
+  "CMakeFiles/sse_test.dir/sse_test.cpp.o.d"
+  "sse_test"
+  "sse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

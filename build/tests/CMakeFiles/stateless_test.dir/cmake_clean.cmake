@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stateless_test.dir/stateless_test.cpp.o"
+  "CMakeFiles/stateless_test.dir/stateless_test.cpp.o.d"
+  "stateless_test"
+  "stateless_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stateless_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

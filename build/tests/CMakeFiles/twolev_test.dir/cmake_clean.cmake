@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twolev_test.dir/twolev_test.cpp.o"
+  "CMakeFiles/twolev_test.dir/twolev_test.cpp.o.d"
+  "twolev_test"
+  "twolev_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twolev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

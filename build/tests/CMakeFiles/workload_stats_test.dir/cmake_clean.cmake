@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_stats_test.dir/workload_stats_test.cpp.o"
+  "CMakeFiles/workload_stats_test.dir/workload_stats_test.cpp.o.d"
+  "workload_stats_test"
+  "workload_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
