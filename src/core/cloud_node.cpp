@@ -96,6 +96,25 @@ void CloudNode::register_doc_handlers() {
     if (!d) throw_error(ErrorCode::kNotFound, "doc.get: no such document");
     return wire::pack({{"blob", d->at("blob")}});
   });
+  rpc_.register_method("doc.mget", [this](BytesView p) {
+    // Batched retrieval: one round trip for a whole candidate set. The
+    // response carries only the ids that still exist (in request order);
+    // vanished ids are skipped, mirroring the gateway's tolerance for
+    // index entries racing with deletions.
+    const Object req = wire::unpack(p);
+    std::vector<std::string> ids;
+    for (const auto& v : wire::get_arr(req, "ids")) ids.push_back(v.as_string());
+    const auto found = docs_.collection(wire::get_str(req, "col")).get_many(ids);
+    Array out;
+    out.reserve(found.size());
+    for (const auto& d : found) {
+      Object entry;
+      entry["id"] = Value(d.id);
+      entry["blob"] = d.at("blob");
+      out.emplace_back(std::move(entry));
+    }
+    return wire::pack({{"docs", Value(std::move(out))}});
+  });
   rpc_.register_method("doc.del", [this](BytesView p) {
     const Object req = wire::unpack(p);
     const bool erased =

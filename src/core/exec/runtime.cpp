@@ -1,0 +1,32 @@
+#include "core/exec/runtime.hpp"
+
+#include "doc/binary_codec.hpp"
+
+namespace datablinder::core::exec {
+
+using doc::Document;
+
+Bytes CollectionRuntime::seal_document(const Document& d) const {
+  return doc_cipher->seal_random_nonce(doc::encode_document(d), to_bytes(d.id));
+}
+
+Document CollectionRuntime::open_document(const DocId& id, BytesView blob) const {
+  auto plain = doc_cipher->open_with_nonce(blob, to_bytes(id));
+  if (!plain) {
+    throw_error(ErrorCode::kCryptoFailure,
+                "document blob failed authentication for id " + id);
+  }
+  return doc::decode_document(*plain);
+}
+
+std::vector<std::string> CollectionRuntime::boolean_keywords(const Document& d) const {
+  std::vector<std::string> keywords;
+  for (const auto& [field, fp] : plan.fields) {
+    if (fp.boolean_member && d.has(field)) {
+      keywords.push_back(field_keyword(field, d.at(field)));
+    }
+  }
+  return keywords;
+}
+
+}  // namespace datablinder::core::exec

@@ -1,14 +1,10 @@
 #include "core/gateway.hpp"
 
-#include <algorithm>
-#include <unordered_set>
+#include <set>
 
 #include "common/hex.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
-#include "core/wire.hpp"
-#include "doc/binary_codec.hpp"
-#include "store/docstore.hpp"  // compare_values for post-verification
 
 namespace datablinder::core {
 
@@ -23,7 +19,9 @@ Gateway::Gateway(net::RpcClient& cloud, kms::KeyManager& kms,
       local_store_(local_store),
       registry_(registry),
       config_(std::move(config)),
-      policy_(registry) {}
+      policy_(registry),
+      planner_(cloud_, perf_),
+      executor_(perf_, config_.index_workers) {}
 
 GatewayContext Gateway::make_context(const std::string& collection,
                                      const std::string& field) const {
@@ -41,29 +39,29 @@ void Gateway::register_schema(schema::Schema s) {
   const std::string name = s.name();
   require(!name.empty(), "register_schema: schema needs a name");
 
-  auto cs = std::make_unique<CollectionState>();
-  cs->plan = policy_.select(s);
-  cs->schema = std::move(s);
-  cs->doc_cipher =
+  auto rt = std::make_unique<exec::CollectionRuntime>();
+  rt->plan = policy_.select(s);
+  rt->schema = std::move(s);
+  rt->doc_cipher =
       std::make_unique<crypto::AesGcm>(kms_.derive("doc/" + name, 32));
 
   // Instantiate the selected tactics (runtime strategy loading).
-  if (!cs->plan.boolean_tactic.empty()) {
-    cs->boolean = registry_.create_boolean(cs->plan.boolean_tactic,
+  if (!rt->plan.boolean_tactic.empty()) {
+    rt->boolean = registry_.create_boolean(rt->plan.boolean_tactic,
                                            make_context(name, ""));
-    cs->boolean->setup();
+    rt->boolean->setup();
   }
-  for (const auto& [field, fp] : cs->plan.fields) {
+  for (const auto& [field, fp] : rt->plan.fields) {
     auto instantiate = [&](const std::string& tactic,
-                           std::map<std::string, std::unique_ptr<FieldTactic>>& slot) {
+                           std::map<std::string, exec::TacticSlot>& slots) {
       if (tactic.empty()) return;
       auto t = registry_.create_field(tactic, make_context(name, field));
       t->setup();
-      slot.emplace(field, std::move(t));
+      slots[field].tactic = std::move(t);
     };
-    instantiate(fp.eq_tactic, cs->eq);
-    instantiate(fp.range_tactic, cs->range);
-    instantiate(fp.agg_tactic, cs->agg);
+    instantiate(fp.eq_tactic, rt->eq);
+    instantiate(fp.range_tactic, rt->range);
+    instantiate(fp.agg_tactic, rt->agg);
   }
 
   std::lock_guard lock(collections_mutex_);
@@ -71,11 +69,11 @@ void Gateway::register_schema(schema::Schema s) {
     throw_error(ErrorCode::kAlreadyExists, "register_schema: duplicate '" + name + "'");
   }
   DB_LOG_INFO << "gateway: registered schema '" << name << "' with "
-              << cs->plan.fields.size() << " protected fields";
-  collections_.emplace(name, std::move(cs));
+              << rt->plan.fields.size() << " protected fields";
+  collections_.emplace(name, std::move(rt));
 }
 
-Gateway::CollectionState& Gateway::state(const std::string& collection) {
+exec::CollectionRuntime& Gateway::runtime(const std::string& collection) {
   std::lock_guard lock(collections_mutex_);
   auto it = collections_.find(collection);
   if (it == collections_.end()) {
@@ -84,7 +82,7 @@ Gateway::CollectionState& Gateway::state(const std::string& collection) {
   return *it->second;
 }
 
-const Gateway::CollectionState& Gateway::state(const std::string& collection) const {
+const exec::CollectionRuntime& Gateway::runtime(const std::string& collection) const {
   std::lock_guard lock(collections_mutex_);
   auto it = collections_.find(collection);
   if (it == collections_.end()) {
@@ -94,11 +92,11 @@ const Gateway::CollectionState& Gateway::state(const std::string& collection) co
 }
 
 const CollectionPlan& Gateway::plan(const std::string& collection) const {
-  return state(collection).plan;
+  return runtime(collection).plan;
 }
 
 const schema::Schema& Gateway::schema_of(const std::string& collection) const {
-  return state(collection).schema;
+  return runtime(collection).schema;
 }
 
 DocId Gateway::generate_doc_id() {
@@ -106,88 +104,23 @@ DocId Gateway::generate_doc_id() {
   return hex_encode(SecureRng::bytes(12));
 }
 
-Bytes Gateway::seal_document(const CollectionState& cs, const Document& d) const {
-  // SecureEnc SPI role: the whole document is AEAD-protected and bound to
-  // its id, so the cloud can neither read nor swap blobs between ids.
-  return cs.doc_cipher->seal_random_nonce(doc::encode_document(d), to_bytes(d.id));
-}
-
-Document Gateway::open_document(const CollectionState& cs, const DocId& id,
-                                BytesView blob) const {
-  auto plain = cs.doc_cipher->open_with_nonce(blob, to_bytes(id));
-  if (!plain) {
-    throw_error(ErrorCode::kCryptoFailure,
-                "document blob failed authentication for id " + id);
-  }
-  return doc::decode_document(*plain);
-}
-
-std::vector<std::string> Gateway::boolean_keywords(const CollectionState& cs,
-                                                   const Document& d) const {
-  std::vector<std::string> keywords;
-  for (const auto& [field, fp] : cs.plan.fields) {
-    if (fp.boolean_member && d.has(field)) {
-      keywords.push_back(field_keyword(field, d.at(field)));
-    }
-  }
-  return keywords;
-}
-
-void Gateway::dispatch_update(CollectionState& cs, const Document& d, bool is_insert) {
-  for (const auto& [field, fp] : cs.plan.fields) {
-    if (!d.has(field)) continue;
-    const Value& value = d.at(field);
-    auto route = [&](std::map<std::string, std::unique_ptr<FieldTactic>>& slot) {
-      auto it = slot.find(field);
-      if (it == slot.end()) return;
-      const ScopedPerf perf(perf_, it->second->descriptor().name,
-                            is_insert ? TacticOperation::kInsert
-                                      : TacticOperation::kDelete);
-      if (is_insert) {
-        it->second->on_insert(d.id, value);
-      } else {
-        it->second->on_delete(d.id, value);
-      }
-    };
-    route(cs.eq);
-    route(cs.range);
-    route(cs.agg);
-  }
-  if (cs.boolean) {
-    const auto keywords = boolean_keywords(cs, d);
-    if (!keywords.empty()) {
-      const ScopedPerf perf(perf_, cs.boolean->descriptor().name,
-                            is_insert ? TacticOperation::kInsert
-                                      : TacticOperation::kDelete);
-      if (is_insert) {
-        cs.boolean->on_insert(d.id, keywords);
-      } else {
-        cs.boolean->on_delete(d.id, keywords);
-      }
-    }
-  }
-}
-
 DocId Gateway::insert(const std::string& collection, Document d) {
-  CollectionState& cs = state(collection);
-  cs.schema.validate(d);
+  exec::CollectionRuntime& rt = runtime(collection);
+  rt.schema.validate(d);
   if (d.id.empty()) d.id = generate_doc_id();
 
-  std::unique_lock lock(cs.op_mutex);
-  cloud_.call("doc.put", wire::pack({{"col", Value(collection)},
-                                     {"id", Value(d.id)},
-                                     {"blob", Value(seal_document(cs, d))}}));
-  dispatch_update(cs, d, /*is_insert=*/true);
+  auto plan = planner_.insert(rt, d);
+  executor_.run(plan);
   return d.id;
 }
 
 std::vector<DocId> Gateway::insert_many(const std::string& collection,
                                         std::vector<Document> docs) {
-  CollectionState& cs = state(collection);
+  exec::CollectionRuntime& rt = runtime(collection);
   std::vector<DocId> ids;
   ids.reserve(docs.size());
   for (auto& d : docs) {
-    cs.schema.validate(d);
+    rt.schema.validate(d);
     if (d.id.empty()) d.id = generate_doc_id();
     ids.push_back(d.id);
   }
@@ -200,14 +133,13 @@ std::vector<DocId> Gateway::insert_many(const std::string& collection,
       "mitra.update", "iex.update", "zmf.update",   "sophos.update",
       "agg.insert"};
 
-  std::unique_lock lock(cs.op_mutex);
   cloud_.begin_deferred(kDeferrable);
   try {
     for (auto& d : docs) {
-      cloud_.call("doc.put", wire::pack({{"col", Value(collection)},
-                                         {"id", Value(d.id)},
-                                         {"blob", Value(seal_document(cs, d))}}));
-      dispatch_update(cs, d, /*is_insert=*/true);
+      // Plans built inside the deferred section are flagged inline_only,
+      // so every deferrable call stays on this thread's batch queue.
+      auto plan = planner_.insert(rt, d);
+      executor_.run(plan);
     }
   } catch (...) {
     cloud_.abandon_deferred();
@@ -218,22 +150,16 @@ std::vector<DocId> Gateway::insert_many(const std::string& collection,
 }
 
 Document Gateway::read(const std::string& collection, const DocId& id) {
-  const CollectionState& cs = state(collection);
-  std::shared_lock lock(cs.op_mutex);
-  const Bytes reply = cloud_.call(
-      "doc.get", wire::pack({{"col", Value(collection)}, {"id", Value(id)}}));
-  return open_document(cs, id, wire::get_bin(wire::unpack(reply), "blob"));
+  exec::CollectionRuntime& rt = runtime(collection);
+  auto plan = planner_.read(rt, id);
+  executor_.run(plan);
+  return std::move(plan.scratch->docs.at(0));
 }
 
 void Gateway::remove(const std::string& collection, const DocId& id) {
-  CollectionState& cs = state(collection);
-  std::unique_lock lock(cs.op_mutex);
-  // Retrieval first: index removal needs the field values.
-  const Bytes reply = cloud_.call(
-      "doc.get", wire::pack({{"col", Value(collection)}, {"id", Value(id)}}));
-  const Document d = open_document(cs, id, wire::get_bin(wire::unpack(reply), "blob"));
-  dispatch_update(cs, d, /*is_insert=*/false);
-  cloud_.call("doc.del", wire::pack({{"col", Value(collection)}, {"id", Value(id)}}));
+  exec::CollectionRuntime& rt = runtime(collection);
+  auto plan = planner_.remove(rt, id);
+  executor_.run(plan);
 }
 
 void Gateway::update(const std::string& collection, Document d) {
@@ -242,200 +168,38 @@ void Gateway::update(const std::string& collection, Document d) {
   insert(collection, std::move(d));
 }
 
-std::vector<Document> Gateway::fetch_documents(const CollectionState& cs,
-                                               const std::vector<DocId>& ids) {
-  std::vector<Document> out;
-  out.reserve(ids.size());
-  for (const auto& id : ids) {
-    try {
-      const Bytes reply = cloud_.call(
-          "doc.get",
-          wire::pack({{"col", Value(cs.schema.name())}, {"id", Value(id)}}));
-      out.push_back(open_document(cs, id, wire::get_bin(wire::unpack(reply), "blob")));
-    } catch (const Error& e) {
-      if (e.code() != ErrorCode::kNotFound) throw;
-      // Tolerate index entries pointing at concurrently removed documents.
-    }
-  }
-  return out;
-}
-
-namespace {
-bool term_matches(const Document& d, const std::string& field, const Value& value) {
-  if (!d.has(field)) return false;
-  try {
-    return store::compare_values(d.at(field), value) == 0;
-  } catch (const Error&) {
-    return false;
-  }
-}
-}  // namespace
-
 std::vector<Document> Gateway::equality_search(const std::string& collection,
                                                const std::string& field,
                                                const Value& value) {
-  CollectionState& cs = state(collection);
-  std::shared_lock lock(cs.op_mutex);
-  const auto fit = cs.plan.fields.find(field);
-  if (fit == cs.plan.fields.end()) {
-    throw_error(ErrorCode::kPolicyViolation,
-                "equality_search: field '" + field + "' is not protected/searchable");
-  }
-  const FieldPlan& fp = fit->second;
-
-  std::vector<DocId> ids;
-  bool approximate = false;
-  if (auto it = cs.eq.find(field); it != cs.eq.end()) {
-    const ScopedPerf perf(perf_, it->second->descriptor().name,
-                          TacticOperation::kEqualitySearch);
-    ids = it->second->equality_search(value);
-    approximate = it->second->approximate();
-  } else if (fp.boolean_member && cs.boolean) {
-    // Equality folded into the boolean tactic: single-term conjunction.
-    const ScopedPerf perf(perf_, cs.boolean->descriptor().name,
-                          TacticOperation::kEqualitySearch);
-    sse::BoolQuery q;
-    q.dnf.push_back({field_keyword(field, value)});
-    ids = cs.boolean->query(q);
-    approximate = cs.boolean->approximate();
-  } else {
-    throw_error(ErrorCode::kPolicyViolation,
-                "equality_search: field '" + field + "' has no equality tactic (op EQ "
-                "not annotated?)");
-  }
-
-  std::vector<Document> docs = fetch_documents(cs, ids);
-  if (approximate) {
-    // EqResolution: exact post-filtering after decryption.
-    std::erase_if(docs, [&](const Document& d) { return !term_matches(d, field, value); });
-  }
-  return docs;
+  exec::CollectionRuntime& rt = runtime(collection);
+  auto plan = planner_.equality_search(rt, field, value);
+  executor_.run(plan);
+  return std::move(plan.scratch->docs);
 }
 
 std::vector<Document> Gateway::boolean_search(const std::string& collection,
                                               const FieldBoolQuery& query) {
-  CollectionState& cs = state(collection);
-  std::shared_lock lock(cs.op_mutex);
-  require(!query.dnf.empty(), "boolean_search: empty query");
-
-  std::vector<DocId> result_ids;
-  std::unordered_set<DocId> seen;
-  for (const auto& conj : query.dnf) {
-    require(!conj.empty(), "boolean_search: empty conjunction");
-    // Split the conjunction: terms on boolean-member fields go to the
-    // collection's boolean tactic as one sub-conjunction; the rest resolve
-    // through their per-field equality tactics and intersect at the
-    // gateway (BoolResolution).
-    std::vector<std::string> sse_terms;
-    std::vector<const FieldTerm*> eq_terms;
-    for (const auto& term : conj) {
-      const auto fit = cs.plan.fields.find(term.field);
-      if (fit == cs.plan.fields.end()) {
-        throw_error(ErrorCode::kPolicyViolation,
-                    "boolean_search: field '" + term.field + "' is not searchable");
-      }
-      if (fit->second.boolean_member && cs.boolean) {
-        sse_terms.push_back(field_keyword(term.field, term.value));
-      } else if (cs.eq.count(term.field)) {
-        eq_terms.push_back(&term);
-      } else {
-        throw_error(ErrorCode::kPolicyViolation,
-                    "boolean_search: field '" + term.field +
-                        "' supports neither boolean nor equality search");
-      }
-    }
-
-    std::optional<std::vector<DocId>> ids;
-    if (!sse_terms.empty()) {
-      const ScopedPerf perf(perf_, cs.boolean->descriptor().name,
-                            TacticOperation::kBooleanSearch);
-      sse::BoolQuery q;
-      q.dnf.push_back(std::move(sse_terms));
-      ids = cs.boolean->query(q);
-    }
-    for (const FieldTerm* term : eq_terms) {
-      FieldTactic& tactic = *cs.eq.at(term->field);
-      const ScopedPerf perf(perf_, tactic.descriptor().name,
-                            TacticOperation::kEqualitySearch);
-      auto term_ids = tactic.equality_search(term->value);
-      if (!ids) {
-        ids = std::move(term_ids);
-      } else {
-        const std::unordered_set<DocId> keep(term_ids.begin(), term_ids.end());
-        std::erase_if(*ids, [&](const DocId& id) { return !keep.count(id); });
-      }
-    }
-    for (auto& id : *ids) {
-      if (seen.insert(id).second) result_ids.push_back(std::move(id));
-    }
-  }
-
-  // BoolResolution: decrypt candidates and re-evaluate the DNF exactly —
-  // needed for ZMF false positives and RND full scans, and harmless
-  // otherwise.
-  std::vector<Document> docs = fetch_documents(cs, result_ids);
-  std::erase_if(docs, [&](const Document& d) {
-    for (const auto& conj : query.dnf) {
-      const bool all = std::all_of(conj.begin(), conj.end(), [&](const FieldTerm& t) {
-        return term_matches(d, t.field, t.value);
-      });
-      if (all) return false;  // matches this disjunct: keep
-    }
-    return true;
-  });
-  return docs;
+  exec::CollectionRuntime& rt = runtime(collection);
+  auto plan = planner_.boolean_search(rt, query);
+  executor_.run(plan);
+  return std::move(plan.scratch->docs);
 }
 
 std::vector<Document> Gateway::range_search(const std::string& collection,
                                             const std::string& field, const Value& lo,
                                             const Value& hi) {
-  CollectionState& cs = state(collection);
-  std::shared_lock lock(cs.op_mutex);
-  auto it = cs.range.find(field);
-  if (it == cs.range.end()) {
-    throw_error(ErrorCode::kPolicyViolation,
-                "range_search: field '" + field + "' has no range tactic (op RG "
-                "not annotated?)");
-  }
-  std::vector<DocId> ids;
-  {
-    const ScopedPerf perf(perf_, it->second->descriptor().name,
-                          TacticOperation::kRangeQuery);
-    ids = it->second->range_search(lo, hi);
-  }
-  return fetch_documents(cs, ids);
+  exec::CollectionRuntime& rt = runtime(collection);
+  auto plan = planner_.range_search(rt, field, lo, hi);
+  executor_.run(plan);
+  return std::move(plan.scratch->docs);
 }
 
 AggregateResult Gateway::aggregate(const std::string& collection,
                                    const std::string& field, schema::Aggregate agg) {
-  CollectionState& cs = state(collection);
-  std::shared_lock lock(cs.op_mutex);
-  auto op_of = [](schema::Aggregate a) {
-    switch (a) {
-      case schema::Aggregate::kSum: return TacticOperation::kSum;
-      case schema::Aggregate::kAverage: return TacticOperation::kAverage;
-      case schema::Aggregate::kCount: return TacticOperation::kCount;
-      case schema::Aggregate::kMin: return TacticOperation::kMin;
-      case schema::Aggregate::kMax: return TacticOperation::kMax;
-    }
-    return TacticOperation::kSum;
-  };
-  if (agg == schema::Aggregate::kMin || agg == schema::Aggregate::kMax) {
-    auto it = cs.range.find(field);
-    if (it == cs.range.end()) {
-      throw_error(ErrorCode::kPolicyViolation,
-                  "aggregate: min/max on '" + field + "' needs a range tactic");
-    }
-    const ScopedPerf perf(perf_, it->second->descriptor().name, op_of(agg));
-    return it->second->aggregate(agg);
-  }
-  auto it = cs.agg.find(field);
-  if (it == cs.agg.end()) {
-    throw_error(ErrorCode::kPolicyViolation,
-                "aggregate: field '" + field + "' has no aggregate tactic");
-  }
-  const ScopedPerf perf(perf_, it->second->descriptor().name, op_of(agg));
-  return it->second->aggregate(agg);
+  exec::CollectionRuntime& rt = runtime(collection);
+  auto plan = planner_.aggregate(rt, field, agg);
+  executor_.run(plan);
+  return plan.scratch->agg;
 }
 
 }  // namespace datablinder::core

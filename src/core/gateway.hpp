@@ -5,29 +5,30 @@
 //                them to tactic plans and the registry instantiates the
 //                gateway-side implementations at runtime.
 //   * Entities — CRUD plus equality / boolean / range search and
-//                aggregates; the middleware core validates documents,
-//                encrypts them (AES-GCM, per-collection key), routes every
-//                sensitive field through its selected tactics, and resolves
-//                query results (Retrieval + SecureEnc + *Resolution SPI
-//                roles) including exact re-verification of approximate
-//                candidates.
+//                aggregates. Every operation is compiled by the exec
+//                Planner into an OperationPlan (index fan-out, batched
+//                candidate retrieval, exact re-verification) and run by
+//                the exec Executor; the gateway itself is a thin wrapper
+//                that validates input, builds the plan, and runs it.
 //   * Keys     — access to the key manager (HSM integration point).
 //
-// Concurrency: one reader/writer lock per collection — mutations are
-// exclusive (SSE client state advances), queries run shared.
+// Concurrency: one reader/writer lock per tactic instance (see
+// exec/runtime.hpp) — index mutations are exclusive per tactic, so writes
+// to distinct fields proceed in parallel, while queries run shared.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "core/exec/executor.hpp"
+#include "core/exec/plan.hpp"
+#include "core/exec/runtime.hpp"
 #include "core/metrics.hpp"
 #include "core/policy.hpp"
 #include "core/registry.hpp"
-#include "crypto/gcm.hpp"
 #include "doc/value.hpp"
 
 namespace datablinder::core {
@@ -36,17 +37,10 @@ struct GatewayConfig {
   /// Forwarded to every tactic's GatewayContext (e.g.
   /// "paillier_modulus_bits", "sophos_modulus_bits", "zmf_filter_bits").
   std::map<std::string, std::string> tactic_params;
-};
 
-/// One predicate of a boolean query: field == value.
-struct FieldTerm {
-  std::string field;
-  doc::Value value;
-};
-
-/// Boolean query in DNF over field terms: OR over AND-lists.
-struct FieldBoolQuery {
-  std::vector<std::vector<FieldTerm>> dnf;
+  /// Worker threads for the executor's per-stage fan-out; 0 = auto (a
+  /// small pool derived from the hardware concurrency).
+  std::size_t index_workers = 0;
 };
 
 class Gateway {
@@ -110,43 +104,17 @@ class Gateway {
 
   // --- Observability -----------------------------------------------------------
   /// Per-(tactic, operation) latency series recorded around every tactic
-  /// protocol invocation (the Fig. 1 performance-metrics reification).
+  /// protocol invocation, plus "core.<stage>" series for every pipeline
+  /// stage (the Fig. 1 performance-metrics reification).
   const PerfRegistry& perf() const noexcept { return perf_; }
   PerfRegistry& perf() noexcept { return perf_; }
 
  private:
-  struct CollectionState {
-    schema::Schema schema;
-    CollectionPlan plan;
-    std::unique_ptr<crypto::AesGcm> doc_cipher;  // whole-document AEAD
-    std::unique_ptr<BooleanTactic> boolean;
-    std::map<std::string, std::unique_ptr<FieldTactic>> eq;
-    std::map<std::string, std::unique_ptr<FieldTactic>> range;
-    std::map<std::string, std::unique_ptr<FieldTactic>> agg;
-    mutable std::shared_mutex op_mutex;
-  };
-
-  CollectionState& state(const std::string& collection);
-  const CollectionState& state(const std::string& collection) const;
+  exec::CollectionRuntime& runtime(const std::string& collection);
+  const exec::CollectionRuntime& runtime(const std::string& collection) const;
 
   GatewayContext make_context(const std::string& collection,
                               const std::string& field) const;
-
-  Bytes seal_document(const CollectionState& cs, const doc::Document& d) const;
-  doc::Document open_document(const CollectionState& cs, const DocId& id,
-                              BytesView blob) const;
-
-  /// Fetches + decrypts a batch of ids; silently skips ids whose document
-  /// has vanished (races with deletions).
-  std::vector<doc::Document> fetch_documents(const CollectionState& cs,
-                                             const std::vector<DocId>& ids);
-
-  /// Cross-field keyword set of the document's boolean-member fields.
-  std::vector<std::string> boolean_keywords(const CollectionState& cs,
-                                            const doc::Document& d) const;
-
-  /// Index mutation fan-out shared by insert/remove.
-  void dispatch_update(CollectionState& cs, const doc::Document& d, bool is_insert);
 
   static DocId generate_doc_id();
 
@@ -157,9 +125,11 @@ class Gateway {
   GatewayConfig config_;
   PolicyEngine policy_;
   PerfRegistry perf_;
+  exec::Planner planner_;
+  exec::Executor executor_;
 
   mutable std::mutex collections_mutex_;
-  std::map<std::string, std::unique_ptr<CollectionState>> collections_;
+  std::map<std::string, std::unique_ptr<exec::CollectionRuntime>> collections_;
 };
 
 }  // namespace datablinder::core

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/status.hpp"
 #include "doc/value.hpp"
 #include "kms/key_manager.hpp"
 #include "net/rpc.hpp"
@@ -135,9 +136,27 @@ struct GatewayContext {
     return tactic + "/" + collection + "/" + field;
   }
 
+  /// Reads an integer tactic parameter. Malformed values surface as
+  /// Error(kInvalidArgument) naming the parameter, never as raw std::stoi
+  /// exceptions.
   int param_int(const std::string& name, int fallback) const {
     auto it = params.find(name);
-    return it == params.end() ? fallback : std::stoi(it->second);
+    if (it == params.end()) return fallback;
+    try {
+      std::size_t consumed = 0;
+      const int value = std::stoi(it->second, &consumed);
+      if (consumed != it->second.size()) {
+        throw_error(ErrorCode::kInvalidArgument,
+                    "tactic param '" + name + "': trailing garbage in '" +
+                        it->second + "'");
+      }
+      return value;
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {  // std::stoi invalid_argument/out_of_range
+      throw_error(ErrorCode::kInvalidArgument,
+                  "tactic param '" + name + "': not an integer: '" + it->second + "'");
+    }
   }
 };
 

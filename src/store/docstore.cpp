@@ -186,6 +186,17 @@ std::optional<Document> Collection::get(const std::string& id) const {
   return it->second;
 }
 
+std::vector<Document> Collection::get_many(const std::vector<std::string>& ids) const {
+  std::lock_guard lock(mutex_);
+  std::vector<Document> out;
+  out.reserve(ids.size());
+  for (const auto& id : ids) {
+    auto it = docs_.find(id);
+    if (it != docs_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
 bool Collection::erase(const std::string& id) {
   std::lock_guard lock(mutex_);
   auto it = docs_.find(id);

@@ -61,6 +61,13 @@ class Collection {
   void put(doc::Document d);
 
   std::optional<doc::Document> get(const std::string& id) const;
+
+  /// Batched lookup: the documents that exist among `ids`, in request
+  /// order; missing ids are skipped. One lock acquisition for the whole
+  /// batch (the substrate of the gateway's single-round-trip candidate
+  /// retrieval).
+  std::vector<doc::Document> get_many(const std::vector<std::string>& ids) const;
+
   bool erase(const std::string& id);
   std::size_t size() const;
 

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <set>
 #include <thread>
 
@@ -154,6 +156,156 @@ TEST(ConcurrencyTest, ParallelSearchesDuringWrites) {
   stop = true;
   reader.join();
   EXPECT_EQ(search_errors.load(), 0);
+}
+
+// --- per-tactic locking: proof of actual parallelism -------------------------
+//
+// A rendezvous tactic whose on_insert blocks until `expected` concurrent
+// arrivals have checked in. If index updates were serialized behind a
+// collection-wide exclusive lock (the pre-exec-subsystem model), the second
+// arrival could never happen while the first holds the lock and the
+// rendezvous would time out.
+
+struct Rendezvous {
+  std::atomic<int> arrivals{0};
+  int expected = 2;
+  std::atomic<bool> timed_out{false};
+
+  void meet() {
+    arrivals.fetch_add(1);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (arrivals.load() < expected) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        timed_out = true;
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+};
+
+class RendezvousTactic : public core::FieldTactic {
+ public:
+  explicit RendezvousTactic(std::shared_ptr<Rendezvous> rv) : rv_(std::move(rv)) {}
+
+  static core::TacticDescriptor static_descriptor() {
+    core::TacticDescriptor d;
+    d.name = "Rendezvous";
+    d.protection_class = schema::ProtectionClass::kClass5;
+    d.serves_operations = {schema::Operation::kInsert, schema::Operation::kEquality};
+    d.preference = 1000;  // outbid DET on the C5 equality tie
+    return d;
+  }
+
+  const core::TacticDescriptor& descriptor() const override {
+    static const core::TacticDescriptor d = static_descriptor();
+    return d;
+  }
+  void setup() override {}
+  void on_insert(const core::DocId&, const doc::Value&) override { rv_->meet(); }
+  void on_delete(const core::DocId&, const doc::Value&) override {}
+  std::vector<core::DocId> equality_search(const doc::Value&) override { return {}; }
+
+ private:
+  std::shared_ptr<Rendezvous> rv_;
+};
+
+struct RendezvousRig {
+  RendezvousRig() : rpc(cloud.rpc(), channel) {
+    core::register_builtin_tactics(registry);
+    registry.register_field_tactic(
+        RendezvousTactic::static_descriptor(),
+        [rv = rendezvous](const core::GatewayContext&) {
+          return std::make_unique<RendezvousTactic>(rv);
+        });
+  }
+
+  schema::Schema schema_with(const std::string& name,
+                             std::initializer_list<const char*> fields) {
+    schema::Schema s(name);
+    schema::FieldAnnotation f;
+    f.type = schema::FieldType::kString;
+    f.sensitive = true;
+    f.protection = schema::ProtectionClass::kClass5;
+    f.operations = {schema::Operation::kInsert, schema::Operation::kEquality};
+    for (const char* field : fields) s.field(field, f);
+    return s;
+  }
+
+  core::CloudNode cloud;
+  net::Channel channel;
+  net::RpcClient rpc;
+  kms::KeyManager kms;
+  store::KvStore local;
+  core::TacticRegistry registry;
+  std::shared_ptr<Rendezvous> rendezvous = std::make_shared<Rendezvous>();
+};
+
+TEST(IndexFanOutTest, OneInsertIndexesItsFieldsInParallel) {
+  // Intra-plan fan-out: a single insert's per-field index steps run on the
+  // executor's worker pool concurrently.
+  RendezvousRig rig;
+  core::GatewayConfig cfg;
+  cfg.index_workers = 4;
+  core::Gateway gw(rig.rpc, rig.kms, rig.local, rig.registry, cfg);
+  gw.register_schema(rig.schema_with("c", {"a", "b"}));
+  ASSERT_EQ(gw.plan("c").fields.at("a").eq_tactic, "Rendezvous");
+
+  Document d;
+  d.set("a", Value("x"));
+  d.set("b", Value("y"));
+  gw.insert("c", d);
+
+  EXPECT_FALSE(rig.rendezvous->timed_out.load());
+  EXPECT_EQ(rig.rendezvous->arrivals.load(), 2);
+}
+
+TEST(IndexFanOutTest, DistinctFieldWritersOfOneCollectionRunInParallel) {
+  // Inter-plan parallelism: two users inserting documents that touch
+  // DISTINCT fields of the SAME collection contend on nothing — each
+  // writer takes only its own field's tactic lock.
+  RendezvousRig rig;
+  core::Gateway gw(rig.rpc, rig.kms, rig.local, rig.registry, {});
+  gw.register_schema(rig.schema_with("c", {"a", "b"}));
+
+  std::thread t1([&] {
+    Document d;
+    d.set("a", Value("x"));
+    gw.insert("c", d);
+  });
+  std::thread t2([&] {
+    Document d;
+    d.set("b", Value("y"));
+    gw.insert("c", d);
+  });
+  t1.join();
+  t2.join();
+
+  EXPECT_FALSE(rig.rendezvous->timed_out.load());
+  EXPECT_EQ(rig.rendezvous->arrivals.load(), 2);
+}
+
+TEST(IndexFanOutTest, DistinctCollectionWritersRunInParallel) {
+  RendezvousRig rig;
+  core::Gateway gw(rig.rpc, rig.kms, rig.local, rig.registry, {});
+  gw.register_schema(rig.schema_with("left", {"a"}));
+  gw.register_schema(rig.schema_with("right", {"a"}));
+
+  std::thread t1([&] {
+    Document d;
+    d.set("a", Value("x"));
+    gw.insert("left", d);
+  });
+  std::thread t2([&] {
+    Document d;
+    d.set("a", Value("y"));
+    gw.insert("right", d);
+  });
+  t1.join();
+  t2.join();
+
+  EXPECT_FALSE(rig.rendezvous->timed_out.load());
+  EXPECT_EQ(rig.rendezvous->arrivals.load(), 2);
 }
 
 }  // namespace
