@@ -11,6 +11,22 @@ namespace datablinder::core {
 using doc::Document;
 using doc::Value;
 
+namespace {
+
+// Fire-and-forget update methods whose responses are empty by protocol.
+// mitrasl.* is deliberately absent: its update protocol reads the current
+// counter from the server, so deferring would use stale counters (and, for
+// the same reason, Mitra-SL updates sit outside the insert intent journal).
+const std::set<std::string>& deferrable_methods() {
+  static const std::set<std::string> kDeferrable = {
+      "doc.put",      "det.insert", "ope.insert", "ore.insert",
+      "mitra.update", "iex.update", "zmf.update", "sophos.update",
+      "agg.insert"};
+  return kDeferrable;
+}
+
+}  // namespace
+
 Gateway::Gateway(net::RpcClient& cloud, kms::KeyManager& kms,
                  store::KvStore& local_store, const TacticRegistry& registry,
                  GatewayConfig config)
@@ -21,7 +37,17 @@ Gateway::Gateway(net::RpcClient& cloud, kms::KeyManager& kms,
       config_(std::move(config)),
       policy_(registry),
       planner_(cloud_, perf_),
-      executor_(perf_, config_.index_workers) {}
+      executor_(perf_, config_.index_workers) {
+  if (config_.retry.enabled) cloud_.set_retry_policy(config_.retry);
+  if (config_.breaker.enabled) cloud_.channel().breaker().configure(config_.breaker);
+  cloud_.set_metrics_hook(
+      [this](const char* series, std::uint64_t value) { perf_.incr(series, value); });
+  if (config_.journal_inserts) {
+    journal_ = std::make_unique<exec::IntentJournal>(local_store_, cloud_);
+  }
+}
+
+Gateway::~Gateway() { cloud_.set_metrics_hook(nullptr); }
 
 GatewayContext Gateway::make_context(const std::string& collection,
                                      const std::string& field) const {
@@ -104,14 +130,61 @@ DocId Gateway::generate_doc_id() {
   return hex_encode(SecureRng::bytes(12));
 }
 
+void Gateway::journaled_run(const std::string& collection,
+                            const std::vector<std::string>& ids,
+                            const std::function<void()>& body) {
+  // Capture: the plan runs fully (gateway-side tactic state advances) but
+  // every deferrable cloud mutation is queued, not sent.
+  cloud_.begin_deferred(deferrable_methods());
+  std::vector<net::Request> captured;
+  try {
+    body();
+    captured = cloud_.take_deferred();
+  } catch (...) {
+    cloud_.abandon_deferred();
+    throw;
+  }
+  // Journal the exact wire bytes durably BEFORE anything ships, then send
+  // the whole batch in one round trip. A fault between begin and complete
+  // leaves a pending intent that recover_pending_inserts()/a retried
+  // insert replays byte-identically.
+  const std::string token = journal_->begin(collection, ids, captured);
+  perf_.incr("core.journal.begin");
+  cloud_.send_batch(captured);
+  journal_->complete(token);
+}
+
 DocId Gateway::insert(const std::string& collection, Document d) {
   exec::CollectionRuntime& rt = runtime(collection);
   rt.schema.validate(d);
   if (d.id.empty()) d.id = generate_doc_id();
 
+  if (journal_ != nullptr) {
+    // Retried insert: a pending intent for this id means a previous attempt
+    // already journaled its mutations — finish THAT attempt by replaying
+    // its recorded ciphertexts instead of re-encrypting (exactly-once).
+    if (auto intent = journal_->find(collection, d.id)) {
+      journal_->resume(*intent);
+      perf_.incr("core.journal.resume");
+      return d.id;
+    }
+    journaled_run(collection, {d.id}, [&] {
+      auto plan = planner_.insert(rt, d);
+      executor_.run(plan);
+    });
+    return d.id;
+  }
+
   auto plan = planner_.insert(rt, d);
   executor_.run(plan);
   return d.id;
+}
+
+std::size_t Gateway::recover_pending_inserts() {
+  if (journal_ == nullptr) return 0;
+  const std::size_t n = journal_->resume_all();
+  if (n > 0) perf_.incr("core.journal.resume", n);
+  return n;
 }
 
 std::vector<DocId> Gateway::insert_many(const std::string& collection,
@@ -125,22 +198,26 @@ std::vector<DocId> Gateway::insert_many(const std::string& collection,
     ids.push_back(d.id);
   }
 
-  // Fire-and-forget update methods whose responses are empty by protocol.
-  // mitrasl.* is deliberately absent: its update protocol reads the
-  // current counter from the server, so deferring would use stale counters.
-  static const std::set<std::string> kDeferrable = {
-      "doc.put",      "det.insert", "ope.insert",   "ore.insert",
-      "mitra.update", "iex.update", "zmf.update",   "sophos.update",
-      "agg.insert"};
-
-  cloud_.begin_deferred(kDeferrable);
-  try {
+  auto run_all = [&] {
     for (auto& d : docs) {
       // Plans built inside the deferred section are flagged inline_only,
       // so every deferrable call stays on this thread's batch queue.
       auto plan = planner_.insert(rt, d);
       executor_.run(plan);
     }
+  };
+
+  if (journal_ != nullptr) {
+    // Same single-round-trip shape, with the batch journaled before it
+    // ships. (Bulk retry goes through recover_pending_inserts(), not the
+    // per-id fast path of insert().)
+    journaled_run(collection, ids, run_all);
+    return ids;
+  }
+
+  cloud_.begin_deferred(deferrable_methods());
+  try {
+    run_all();
   } catch (...) {
     cloud_.abandon_deferred();
     throw;

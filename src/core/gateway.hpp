@@ -17,6 +17,7 @@
 // to distinct fields proceed in parallel, while queries run shared.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "core/exec/executor.hpp"
+#include "core/exec/intent_journal.hpp"
 #include "core/exec/plan.hpp"
 #include "core/exec/runtime.hpp"
 #include "core/metrics.hpp"
@@ -41,12 +43,31 @@ struct GatewayConfig {
   /// Worker threads for the executor's per-stage fan-out; 0 = auto (a
   /// small pool derived from the hardware concurrency).
   std::size_t index_workers = 0;
+
+  /// Retry policy installed on the cloud RPC client when .enabled (default
+  /// off: the seed fails fast). See net::RetryPolicy::standard().
+  net::RetryPolicy retry;
+
+  /// Circuit-breaker configuration applied to the cloud channel when
+  /// .enabled (default off).
+  net::BreakerConfig breaker;
+
+  /// Crash-consistent inserts: when true, every insert/insert_many runs in
+  /// RPC-capture mode, journals the exact cloud mutations into the local
+  /// KvStore AOF before the first byte ships, and marks the intent
+  /// complete after the batch lands (see exec::IntentJournal). Default off
+  /// to keep the seed's per-call round-trip profile.
+  bool journal_inserts = false;
 };
 
 class Gateway {
  public:
   Gateway(net::RpcClient& cloud, kms::KeyManager& kms, store::KvStore& local_store,
           const TacticRegistry& registry, GatewayConfig config = {});
+
+  /// Uninstalls the metrics hook from the shared RpcClient. Destroy a
+  /// gateway before constructing its successor on the same client.
+  ~Gateway();
 
   // --- Schema interface --------------------------------------------------
   /// Registers a schema: runs policy selection, instantiates and sets up
@@ -99,6 +120,15 @@ class Gateway {
   AggregateResult aggregate(const std::string& collection, const std::string& field,
                             schema::Aggregate agg);
 
+  // --- Recovery ----------------------------------------------------------
+  /// Replays every pending insert intent left by a crash or fault (no-op
+  /// unless journal_inserts is on). Call after constructing a gateway over
+  /// a semi-persistent local store. Returns how many intents completed.
+  std::size_t recover_pending_inserts();
+
+  /// The intent journal, or nullptr when journal_inserts is off.
+  exec::IntentJournal* journal() noexcept { return journal_.get(); }
+
   // --- Keys interface --------------------------------------------------------
   kms::KeyManager& keys() noexcept { return kms_; }
 
@@ -118,6 +148,12 @@ class Gateway {
 
   static DocId generate_doc_id();
 
+  /// Runs `body` in RPC-capture mode, journals the captured mutations for
+  /// `ids`, ships them as one batch, then completes the intent.
+  void journaled_run(const std::string& collection,
+                     const std::vector<std::string>& ids,
+                     const std::function<void()>& body);
+
   net::RpcClient& cloud_;
   kms::KeyManager& kms_;
   store::KvStore& local_store_;
@@ -127,6 +163,7 @@ class Gateway {
   PerfRegistry perf_;
   exec::Planner planner_;
   exec::Executor executor_;
+  std::unique_ptr<exec::IntentJournal> journal_;
 
   mutable std::mutex collections_mutex_;
   std::map<std::string, std::unique_ptr<exec::CollectionRuntime>> collections_;

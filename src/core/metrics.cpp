@@ -25,6 +25,22 @@ OpStats PerfRegistry::stats(const std::string& tactic, TacticOperation op) const
   return it == series_.end() ? OpStats{} : it->second;
 }
 
+void PerfRegistry::incr(const std::string& series, std::uint64_t delta) {
+  std::lock_guard lock(mutex_);
+  counters_[series] += delta;
+}
+
+std::uint64_t PerfRegistry::counter(const std::string& series) const {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(series);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::uint64_t> PerfRegistry::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
 std::string PerfRegistry::report() const {
   const auto snap = snapshot();
   std::ostringstream out;
@@ -37,12 +53,22 @@ std::string PerfRegistry::report() const {
                   static_cast<double>(s.max_ns) / 1e3);
     out << line;
   }
+  const auto counts = counters();
+  if (!counts.empty()) {
+    out << "counter                              total\n";
+    for (const auto& [name, value] : counts) {
+      std::snprintf(line, sizeof(line), "%-28s %12llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out << line;
+    }
+  }
   return out.str();
 }
 
 void PerfRegistry::reset() {
   std::lock_guard lock(mutex_);
   series_.clear();
+  counters_.clear();
 }
 
 }  // namespace datablinder::core

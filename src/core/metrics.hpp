@@ -38,7 +38,18 @@ class PerfRegistry {
   /// Stats for one (tactic, operation) pair (zeroes if never recorded).
   OpStats stats(const std::string& tactic, TacticOperation op) const;
 
-  /// Rendered per-tactic/per-operation table.
+  // --- named counters ------------------------------------------------------
+  //
+  // Event series that are counts rather than latencies — retry attempts,
+  // breaker trips, journal resumes ("net.retry.*", "net.breaker.*",
+  // "core.journal.*"). Kept alongside the latency table so one registry
+  // snapshot covers the whole middleware.
+
+  void incr(const std::string& series, std::uint64_t delta = 1);
+  std::uint64_t counter(const std::string& series) const;
+  std::map<std::string, std::uint64_t> counters() const;
+
+  /// Rendered per-tactic/per-operation table plus the counter series.
   std::string report() const;
 
   void reset();
@@ -46,6 +57,7 @@ class PerfRegistry {
  private:
   mutable std::mutex mutex_;
   std::map<std::pair<std::string, TacticOperation>, OpStats> series_;
+  std::map<std::string, std::uint64_t> counters_;
 };
 
 /// RAII recorder: times a scope and files it on destruction.

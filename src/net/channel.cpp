@@ -1,46 +1,119 @@
 #include "net/channel.hpp"
 
 #include <chrono>
-#include <random>
 #include <thread>
 
 #include "common/status.hpp"
 
 namespace datablinder::net {
 
-void Channel::simulate_delay(std::size_t bytes) const {
-  std::uint64_t delay_us = config_.one_way_latency_us;
-  if (config_.bandwidth_bytes_per_sec > 0) {
-    delay_us += static_cast<std::uint64_t>(bytes) * 1000000ULL /
-                config_.bandwidth_bytes_per_sec;
+namespace {
+std::uint64_t seed_or_random(std::uint64_t seed) {
+  return seed != 0 ? seed : std::random_device{}();
+}
+}  // namespace
+
+Channel::Channel(ChannelConfig config)
+    : config_(config), rng_(seed_or_random(config.fault_seed)) {}
+
+void Channel::set_config(const ChannelConfig& config) {
+  std::lock_guard lock(mutex_);
+  if (config.fault_seed != config_.fault_seed || config.fault_seed != 0) {
+    rng_.seed(seed_or_random(config.fault_seed));
+  }
+  config_ = config;
+}
+
+ChannelConfig Channel::config() const {
+  std::lock_guard lock(mutex_);
+  return config_;
+}
+
+void Channel::set_fault_plan(FaultPlan plan) {
+  std::lock_guard lock(mutex_);
+  plan_ = std::move(plan);
+}
+
+void Channel::arm_fault_plan(FaultPlan plan) {
+  std::lock_guard lock(mutex_);
+  plan_ = std::move(plan);
+  transfer_seq_ = 0;
+}
+
+void Channel::clear_fault_plan() {
+  std::lock_guard lock(mutex_);
+  plan_ = {};
+}
+
+std::uint64_t Channel::transfers() const {
+  std::lock_guard lock(mutex_);
+  return transfer_seq_;
+}
+
+void Channel::simulate_delay(std::uint64_t latency_us, std::uint64_t bandwidth,
+                             std::size_t bytes) const {
+  std::uint64_t delay_us = latency_us;
+  if (bandwidth > 0) {
+    delay_us += static_cast<std::uint64_t>(bytes) * 1000000ULL / bandwidth;
   }
   if (delay_us > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
   }
 }
 
-void Channel::maybe_fail() const {
+ChannelConfig Channel::account_and_maybe_fail(const std::string& method,
+                                              bool is_request) {
   if (closed_) throw_error(ErrorCode::kUnavailable, "channel closed");
-  if (config_.failure_probability > 0.0) {
-    thread_local std::mt19937_64 rng{std::random_device{}()};
-    if (std::uniform_real_distribution<double>(0.0, 1.0)(rng) <
-        config_.failure_probability) {
-      throw_error(ErrorCode::kUnavailable, "injected channel fault");
+  std::lock_guard lock(mutex_);
+  const std::uint64_t seq = ++transfer_seq_;
+
+  auto fault = [&](const std::string& why) {
+    stats_.faults_injected += 1;
+    throw_error(ErrorCode::kUnavailable,
+                "injected channel fault (" + why + ") at transfer #" +
+                    std::to_string(seq) +
+                    (method.empty() ? std::string() : " [" + method + "]"));
+  };
+
+  for (const auto& n : plan_.fail_transfers) {
+    if (n == seq) fault("scripted transfer");
+  }
+  for (const auto& outage : plan_.outages) {
+    if (seq >= outage.first && seq < outage.first + outage.length) {
+      fault("outage window");
     }
   }
+  if (is_request && !method.empty()) {
+    for (auto& mf : plan_.method_faults) {
+      if (mf.count == 0) continue;
+      if (method.compare(0, mf.prefix.size(), mf.prefix) != 0) continue;
+      if (mf.skip > 0) {
+        --mf.skip;
+        continue;
+      }
+      --mf.count;
+      fault("method " + mf.prefix);
+    }
+  }
+  if (config_.failure_probability > 0.0 &&
+      std::uniform_real_distribution<double>(0.0, 1.0)(rng_) <
+          config_.failure_probability) {
+    fault("probabilistic");
+  }
+  return config_;
 }
 
-void Channel::transfer_request(std::size_t bytes) {
-  maybe_fail();
+void Channel::transfer_request(std::size_t bytes, const std::string& method) {
+  const ChannelConfig cfg = account_and_maybe_fail(method, /*is_request=*/true);
   stats_.bytes_sent += bytes;
   stats_.round_trips += 1;
-  simulate_delay(bytes);
+  simulate_delay(cfg.one_way_latency_us, cfg.bandwidth_bytes_per_sec, bytes);
 }
 
-void Channel::transfer_response(std::size_t bytes) {
-  maybe_fail();
+void Channel::transfer_response(std::size_t bytes, const std::string& method) {
+  const ChannelConfig cfg = account_and_maybe_fail(method, /*is_request=*/false);
   stats_.bytes_received += bytes;
-  simulate_delay(bytes);
+  simulate_delay(cfg.one_way_latency_us, cfg.bandwidth_bytes_per_sec, bytes);
 }
 
 }  // namespace datablinder::net

@@ -1,5 +1,8 @@
 #include "net/rpc.hpp"
 
+#include <algorithm>
+#include <random>
+
 namespace datablinder::net {
 
 void RpcServer::register_method(const std::string& method, Handler handler) {
@@ -65,15 +68,21 @@ void RpcClient::begin_deferred(std::set<std::string> deferrable_methods) {
                 d, [](void* p) { delete static_cast<Deferred*>(p); }));
 }
 
-std::size_t RpcClient::flush_deferred() {
+std::vector<Request> RpcClient::take_deferred() {
   Deferred* d = deferred_slot();
   if (d == nullptr) {
     throw_error(ErrorCode::kInvalidArgument, "rpc: no deferred section active");
   }
-  // Move the queue out and end the section before any network activity so
-  // error paths cannot leave a dangling section.
+  // Move the queue out and end the section before anything else so error
+  // paths can never leave a dangling section or stale queued requests.
   std::vector<Request> queue = std::move(d->queue);
   t_deferred_erased->erase(this);
+  return queue;
+}
+
+std::size_t RpcClient::flush_deferred() { return send_batch(take_deferred()); }
+
+std::size_t RpcClient::send_batch(const std::vector<Request>& queue) {
   if (queue.empty()) return 0;
 
   // Encode: count, then length-prefixed serialized sub-requests.
@@ -145,6 +154,49 @@ RpcServer::Handler RpcClient::make_batch_handler(const RpcServer& server) {
   };
 }
 
+void RpcClient::set_retry_policy(RetryPolicy policy) {
+  std::lock_guard lock(policy_mutex_);
+  policy_ = std::move(policy);
+}
+
+RetryPolicy RpcClient::retry_policy() const {
+  std::lock_guard lock(policy_mutex_);
+  return policy_;
+}
+
+void RpcClient::set_clock(RetryClock* clock) {
+  std::lock_guard lock(policy_mutex_);
+  clock_ = clock;
+}
+
+void RpcClient::set_metrics_hook(MetricsHook hook) {
+  std::lock_guard lock(policy_mutex_);
+  hook_ = std::move(hook);
+}
+
+void RpcClient::emit(const char* series, std::uint64_t value) const {
+  MetricsHook hook;
+  {
+    std::lock_guard lock(policy_mutex_);
+    hook = hook_;
+  }
+  if (hook) hook(series, value);
+}
+
+Bytes RpcClient::dispatch_once(const std::string& method, const Bytes& wire_request) {
+  channel_.transfer_request(wire_request.size(), method);
+  // Both ends run in-process: the "cloud" executes here. The bytes still
+  // went through full serialize/deserialize so nothing non-serializable
+  // can leak across the trust boundary.
+  const Response response = server_.dispatch(Request::deserialize(wire_request));
+  const Bytes wire_response = response.serialize();
+  channel_.transfer_response(wire_response.size(), method);
+
+  Response decoded = Response::deserialize(wire_response);
+  if (!decoded.ok) throw Error(decoded.error, decoded.error_message);
+  return std::move(decoded.payload);
+}
+
 Bytes RpcClient::call(const std::string& method, BytesView payload) {
   if (Deferred* d = deferred_slot(); d != nullptr && d->methods.count(method)) {
     // Fire-and-forget method inside a deferred section: queue it. The
@@ -167,17 +219,84 @@ Bytes RpcClient::call(const std::string& method, BytesView payload) {
   request.payload.assign(payload.begin(), payload.end());
   const Bytes wire_request = request.serialize();
 
-  channel_.transfer_request(wire_request.size());
-  // Both ends run in-process: the "cloud" executes here. The bytes still
-  // went through full serialize/deserialize so nothing non-serializable
-  // can leak across the trust boundary.
-  const Response response = server_.dispatch(Request::deserialize(wire_request));
-  const Bytes wire_response = response.serialize();
-  channel_.transfer_response(wire_response.size());
+  RetryPolicy policy;
+  RetryClock* clock;
+  {
+    std::lock_guard lock(policy_mutex_);
+    policy = policy_;
+    clock = clock_ != nullptr ? clock_ : &RetryClock::system();
+  }
+  CircuitBreaker& breaker = channel_.breaker();
+  if (!policy.enabled && !breaker.enabled()) {
+    return dispatch_once(method, wire_request);  // seed fast path: fail fast
+  }
 
-  Response decoded = Response::deserialize(wire_response);
-  if (!decoded.ok) throw Error(decoded.error, decoded.error_message);
-  return std::move(decoded.payload);
+  const std::uint64_t start_us = clock->now_us();
+  std::uint64_t backoff_us = policy.initial_backoff_us;
+  std::mt19937_64 jitter_rng(policy.jitter_seed != 0 ? policy.jitter_seed
+                                                     : std::random_device{}());
+  const std::uint32_t max_attempts =
+      policy.enabled ? std::max<std::uint32_t>(1, policy.max_attempts) : 1;
+
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    bool transport_failure;
+    std::exception_ptr error;
+    if (!breaker.try_admit(clock->now_us())) {
+      emit("net.breaker.reject", 1);
+      transport_failure = true;
+      error = std::make_exception_ptr(
+          Error(ErrorCode::kUnavailable, "circuit breaker open: " + method));
+    } else {
+      try {
+        Bytes out = dispatch_once(method, wire_request);
+        breaker.on_success();
+        return out;
+      } catch (const Error& e) {
+        transport_failure = e.code() == ErrorCode::kUnavailable;
+        if (transport_failure) {
+          const auto before = breaker.state();
+          breaker.on_failure(clock->now_us());
+          if (breaker.state() == CircuitBreaker::State::kOpen &&
+              before != CircuitBreaker::State::kOpen) {
+            emit("net.breaker.open", 1);
+          }
+        } else {
+          // A typed server error is a delivered response: endpoint healthy.
+          breaker.on_success();
+        }
+        error = std::current_exception();
+      }
+    }
+
+    // Retry only transport failures of whitelisted (replay-idempotent)
+    // methods, within the attempt and deadline budgets. A retry re-sends
+    // `wire_request` — the exact bytes of the first attempt.
+    if (!policy.enabled || !transport_failure || !policy.retryable(method) ||
+        attempt >= max_attempts) {
+      if (policy.enabled && transport_failure && policy.retryable(method)) {
+        emit("net.retry.giveup", 1);
+      }
+      std::rethrow_exception(error);
+    }
+    std::uint64_t sleep_us = backoff_us;
+    if (policy.jitter > 0.0) {
+      const double cut =
+          std::uniform_real_distribution<double>(0.0, policy.jitter)(jitter_rng);
+      sleep_us -= static_cast<std::uint64_t>(static_cast<double>(sleep_us) * cut);
+    }
+    if (policy.deadline_us != 0 &&
+        clock->now_us() - start_us + sleep_us >= policy.deadline_us) {
+      emit("net.retry.deadline", 1);
+      std::rethrow_exception(error);
+    }
+    emit("net.retry.attempt", 1);
+    emit("net.retry.backoff_us", sleep_us);
+    clock->sleep_us(sleep_us);
+    backoff_us = std::min(
+        static_cast<std::uint64_t>(static_cast<double>(backoff_us) *
+                                   policy.backoff_multiplier),
+        policy.max_backoff_us);
+  }
 }
 
 }  // namespace datablinder::net

@@ -5,6 +5,14 @@
 // error thrown cloud-side surfaces gateway-side with its original code —
 // the serialization path is exercised end-to-end even though both ends run
 // in one process.
+//
+// Resilience: with a RetryPolicy installed, transport failures
+// (kUnavailable) on whitelisted methods are retried with exponential
+// backoff + jitter under a per-call deadline budget, re-sending the SAME
+// serialized request bytes (byte-identical replay — see resilience.hpp for
+// why that preserves both exactly-once state and the leakage profile). The
+// channel's circuit breaker, when enabled, sheds calls while the endpoint
+// is down and probes it half-open after a cooldown.
 #pragma once
 
 #include <functional>
@@ -17,6 +25,7 @@
 
 #include "net/channel.hpp"
 #include "net/message.hpp"
+#include "net/resilience.hpp"
 
 namespace datablinder::net {
 
@@ -45,7 +54,24 @@ class RpcClient {
 
   /// Full round trip: serialize, cross the channel, dispatch, cross back,
   /// deserialize. Throws the server-side Error on failure responses.
+  /// Transport failures are retried per the installed RetryPolicy.
   Bytes call(const std::string& method, BytesView payload);
+
+  // --- resilience -----------------------------------------------------------
+
+  void set_retry_policy(RetryPolicy policy);
+  RetryPolicy retry_policy() const;
+
+  /// Overrides the clock used for backoff sleeps and breaker cooldowns
+  /// (non-owning; nullptr restores the system steady clock). Test hook.
+  void set_clock(RetryClock* clock);
+
+  /// Observer for retry/breaker events. Series names: "net.retry.attempt",
+  /// "net.retry.backoff_us", "net.retry.giveup", "net.retry.deadline",
+  /// "net.breaker.open", "net.breaker.reject". The gateway bridges these
+  /// into its PerfRegistry. Pass nullptr to clear.
+  using MetricsHook = std::function<void(const char* series, std::uint64_t value)>;
+  void set_metrics_hook(MetricsHook hook);
 
   // --- deferred batching ----------------------------------------------------
   //
@@ -56,6 +82,10 @@ class RpcClient {
   // the whole queue as ONE "rpc.batch" round trip; any sub-call failure
   // surfaces as the corresponding Error at flush time. Thread-local, so
   // concurrent callers on other threads are unaffected.
+  //
+  // Failure contract: flush_deferred()/take_deferred() END the section
+  // before any network activity, so every failure path leaves no queued
+  // requests behind and a fresh section can immediately be re-begun.
 
   /// Starts a deferred section. Throws kInvalidArgument if one is active.
   void begin_deferred(std::set<std::string> deferrable_methods);
@@ -63,6 +93,18 @@ class RpcClient {
   /// Sends all queued calls as one batch round trip; returns how many were
   /// sent. Always ends the deferred section, even on error.
   std::size_t flush_deferred();
+
+  /// Ends the deferred section WITHOUT sending and hands the queued
+  /// requests to the caller — the capture half of crash-consistent
+  /// inserts: the gateway journals the exact bytes, then ships them with
+  /// send_batch().
+  std::vector<Request> take_deferred();
+
+  /// Ships previously captured requests as ONE "rpc.batch" round trip;
+  /// returns how many were sent. Safe to replay: the batch carries only
+  /// keyed-overwrite updates, so re-sending the identical bytes converges
+  /// to the same cloud state.
+  std::size_t send_batch(const std::vector<Request>& queue);
 
   /// Discards a deferred section without sending (error-path cleanup).
   void abandon_deferred() noexcept;
@@ -82,8 +124,17 @@ class RpcClient {
   };
   Deferred* deferred_slot() const noexcept;
 
+  /// One un-retried round trip of pre-serialized request bytes.
+  Bytes dispatch_once(const std::string& method, const Bytes& wire_request);
+  void emit(const char* series, std::uint64_t value) const;
+
   RpcServer& server_;
   Channel& channel_;
+
+  mutable std::mutex policy_mutex_;  // guards policy_, clock_, hook_
+  RetryPolicy policy_;
+  RetryClock* clock_ = nullptr;
+  MetricsHook hook_;
 };
 
 }  // namespace datablinder::net

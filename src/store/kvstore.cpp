@@ -113,6 +113,11 @@ void KvStore::apply(OpCode op, const std::vector<Bytes>& args) {
   }
 }
 
+void KvStore::sync() {
+  std::lock_guard lock(mutex_);
+  if (aof_ != nullptr) std::fflush(aof_);
+}
+
 void KvStore::set(const std::string& key, Bytes value) {
   std::lock_guard lock(mutex_);
   log_op(OpCode::kSet, {to_bytes(key), value});

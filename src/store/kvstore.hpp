@@ -71,6 +71,13 @@ class KvStore {
   /// Approximate resident bytes across all structures (storage metric).
   std::size_t storage_bytes() const;
 
+  /// Flushes buffered AOF records to the OS. The semi-persistent default
+  /// buffers writes (matching the paper's Redis config); callers with a
+  /// durability point — e.g. the insert intent journal, which must land
+  /// before the first cloud mutation — call this explicitly. No-op for
+  /// in-memory stores.
+  void sync();
+
   /// Drops everything (and truncates the AOF).
   void flush_all();
 

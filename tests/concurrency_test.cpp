@@ -308,5 +308,62 @@ TEST(IndexFanOutTest, DistinctCollectionWritersRunInParallel) {
   EXPECT_EQ(rig.rendezvous->arrivals.load(), 2);
 }
 
+TEST(ConcurrencyTest, ChannelConfigMutationRacesTransfers) {
+  // Regression: set_config() used to write the config while transfer_*
+  // read it unguarded — a data race TSan flags. Transfers running
+  // concurrently with config/fault-plan churn must see either the old or
+  // the new config, never a torn mix, and the ordinal counter must stay
+  // exact.
+  net::Channel ch;
+  constexpr int kTransferThreads = 4;
+  constexpr int kOps = 500;
+  std::atomic<std::uint64_t> completed{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kTransferThreads; ++t) {
+    threads.emplace_back([&ch, &completed] {
+      for (int i = 0; i < kOps; ++i) {
+        // Every transfer_* call consumes exactly one ordinal, delivered or
+        // faulted; a faulted request skips the response leg.
+        bool request_ok = true;
+        try {
+          ch.transfer_request(64, "m.op");
+        } catch (const Error&) {
+          request_ok = false;
+        }
+        completed.fetch_add(1);
+        if (request_ok) {
+          try {
+            ch.transfer_response(64, "m.op");
+          } catch (const Error&) {
+          }
+          completed.fetch_add(1);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&ch] {
+    for (int i = 0; i < 200; ++i) {
+      net::ChannelConfig cfg;
+      cfg.failure_probability = (i % 2 == 0) ? 0.0 : 0.05;
+      cfg.fault_seed = static_cast<std::uint64_t>(i + 1);
+      ch.set_config(cfg);
+      ch.config();
+      if (i % 50 == 0) {
+        net::FaultPlan plan;
+        plan.method_faults = {{"m.", 0, 3}};
+        ch.set_fault_plan(plan);
+      } else if (i % 50 == 25) {
+        ch.clear_fault_plan();
+      }
+    }
+  });
+  for (auto& t : threads) t.join();
+
+  // Every attempted transfer (delivered or faulted) got a unique ordinal.
+  EXPECT_EQ(ch.transfers(), completed.load());
+  EXPECT_EQ(ch.stats().bytes_sent.load() % 64, 0u);
+}
+
 }  // namespace
 }  // namespace datablinder
