@@ -35,6 +35,10 @@ std::uint64_t SecureRng::uniform(std::uint64_t bound) {
   }
 }
 
+std::uint64_t DetRng::seed_or_entropy(std::uint64_t seed) {
+  return seed != 0 ? seed : std::random_device{}();
+}
+
 std::uint64_t DetRng::uniform(std::uint64_t bound) {
   require(bound > 0, "DetRng::uniform: bound must be positive");
   return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(engine_);

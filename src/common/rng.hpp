@@ -34,6 +34,11 @@ class DetRng {
  public:
   explicit DetRng(std::uint64_t seed) : engine_(seed) {}
 
+  /// Canonical "0 means fresh entropy" seeding rule shared by every
+  /// seedable component (fault injection, retry jitter, workloads):
+  /// returns `seed` when nonzero, otherwise a std::random_device draw.
+  static std::uint64_t seed_or_entropy(std::uint64_t seed);
+
   /// Uniform in [0, bound). Requires bound > 0.
   std::uint64_t uniform(std::uint64_t bound);
 

@@ -1,0 +1,43 @@
+#include "common/secret.hpp"
+
+#include <atomic>
+
+namespace datablinder {
+
+namespace secret_detail {
+
+namespace {
+std::atomic<WipeHook> g_wipe_hook{nullptr};
+}  // namespace
+
+void set_wipe_hook(WipeHook hook) noexcept { g_wipe_hook.store(hook); }
+
+void wipe_region(std::uint8_t* p, std::size_t n) noexcept {
+  secure_wipe({p, n});
+  if (WipeHook hook = g_wipe_hook.load()) hook(p, n);
+}
+
+}  // namespace secret_detail
+
+SecretBytes::SecretBytes(Bytes plaintext)
+    : data_(plaintext.begin(), plaintext.end()) {
+  secure_wipe(plaintext);  // the source (often a temporary) leaves no residue
+}
+
+SecretBytes SecretBytes::from_view(BytesView b) {
+  SecretBytes s;
+  s.data_.assign(b.begin(), b.end());
+  return s;
+}
+
+SecretBytes SecretBytes::clone() const { return from_view(expose_secret()); }
+
+bool ct_equal(const SecretBytes& a, const SecretBytes& b) noexcept {
+  return ct_equal(a.expose_secret(), b.expose_secret());
+}
+
+std::ostream& operator<<(std::ostream& os, const SecretBytes& s) {
+  return os << "[REDACTED:" << s.size() << "]";
+}
+
+}  // namespace datablinder

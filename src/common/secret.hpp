@@ -1,0 +1,105 @@
+// SecretBytes — taint type for key material.
+//
+// Every long-lived secret in the library (master keys, derived tactic keys,
+// PRF keys, cipher subkeys) is held in a SecretBytes rather than a plain
+// Bytes. The type enforces, by construction, the hygiene rules that used to
+// be comment-only:
+//   * zeroization: the backing buffer is wiped before every deallocation
+//     (destruction, move-assignment and vector regrowth all pass through
+//     the wiping allocator);
+//   * no implicit conversion to Bytes — the raw bytes are reachable only
+//     through an explicit expose_secret() call, which the in-repo dblint
+//     checker restricts to allowlisted crypto-kernel files (rule `expose`);
+//   * no operator== — secrets compare only via the constant-time ct_equal;
+//   * redacted formatting: streaming a SecretBytes prints "[REDACTED:n]",
+//     never the contents (dblint rule `log-secret` backs this up).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace datablinder {
+
+namespace secret_detail {
+
+/// Test seam: invoked after a secret buffer has been wiped but before it is
+/// returned to the heap, so tests can observe zeroization without touching
+/// freed memory. Null (disabled) outside tests.
+using WipeHook = void (*)(const std::uint8_t* data, std::size_t size);
+void set_wipe_hook(WipeHook hook) noexcept;
+
+/// Wipes [p, p+n) through secure_wipe and notifies the test hook.
+void wipe_region(std::uint8_t* p, std::size_t n) noexcept;
+
+/// Allocator whose deallocate() wipes the buffer first. Stateless, so
+/// moves between containers transfer the buffer without copying.
+template <typename T>
+struct WipingAllocator {
+  using value_type = T;
+
+  WipingAllocator() noexcept = default;
+  template <typename U>
+  WipingAllocator(const WipingAllocator<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) { return std::allocator<T>().allocate(n); }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    wipe_region(reinterpret_cast<std::uint8_t*>(p), n * sizeof(T));
+    std::allocator<T>().deallocate(p, n);
+  }
+
+  friend bool operator==(const WipingAllocator&, const WipingAllocator&) noexcept {
+    return true;
+  }
+};
+
+using SecretBuffer = std::vector<std::uint8_t, WipingAllocator<std::uint8_t>>;
+
+}  // namespace secret_detail
+
+class SecretBytes {
+ public:
+  SecretBytes() = default;
+
+  /// Adopts `plaintext`: copies it into wiped storage and wipes the source
+  /// buffer, so a key returned by e.g. hkdf() leaves no residue behind.
+  explicit SecretBytes(Bytes plaintext);
+
+  /// Copies a view the caller retains responsibility for.
+  static SecretBytes from_view(BytesView b);
+
+  /// Move-only: accidental copies of key material are a compile error.
+  /// Deliberate copies go through clone().
+  SecretBytes(const SecretBytes&) = delete;
+  SecretBytes& operator=(const SecretBytes&) = delete;
+  SecretBytes(SecretBytes&&) noexcept = default;
+  SecretBytes& operator=(SecretBytes&&) noexcept = default;
+  ~SecretBytes() = default;  // buffer wiped by the allocator
+
+  SecretBytes clone() const;
+
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// The only way at the raw bytes. dblint rule `expose` restricts call
+  /// sites to the crypto-kernel allowlist.
+  BytesView expose_secret() const noexcept { return {data_.data(), data_.size()}; }
+
+  /// Secrets never compare with operator== (variable-time).
+  bool operator==(const SecretBytes&) const = delete;
+
+  /// Constant-time equality (length leak only).
+  friend bool ct_equal(const SecretBytes& a, const SecretBytes& b) noexcept;
+
+ private:
+  secret_detail::SecretBuffer data_;
+};
+
+/// Streams as "[REDACTED:n]" — never the contents.
+std::ostream& operator<<(std::ostream& os, const SecretBytes& s);
+
+}  // namespace datablinder

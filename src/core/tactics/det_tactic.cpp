@@ -40,7 +40,7 @@ const TacticDescriptor& DetTactic::static_descriptor() {
 }
 
 void DetTactic::setup() {
-  const Bytes key = ctx_.kms->derive(ctx_.scope("det"), 32);
+  const SecretBytes key = ctx_.kms->derive(ctx_.scope("det"), 32);
   cipher_.emplace(key, ctx_.collection + "." + ctx_.field);
 }
 

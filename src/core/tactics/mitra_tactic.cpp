@@ -37,7 +37,7 @@ const TacticDescriptor& MitraTactic::static_descriptor() {
 }
 
 void MitraTactic::setup() {
-  const Bytes key = ctx_.kms->derive(ctx_.scope("mitra"), 32);
+  const SecretBytes key = ctx_.kms->derive(ctx_.scope("mitra"), 32);
   client_.emplace(key);
   state_key_ = "mitra-counters:" + ctx_.scope("mitra");
   // Recover persisted keyword counters (the tactic's "local storage").

@@ -1,7 +1,7 @@
 #include "core/tactics/ope_tactic.hpp"
 
 #include "core/tactics/builtin.hpp"
-#include "core/tactics/numeric.hpp"
+#include "doc/numeric.hpp"
 #include "core/wire.hpp"
 
 namespace datablinder::core {
@@ -39,7 +39,7 @@ void OpeTactic::setup() {
 }
 
 Bytes OpeTactic::score(const Value& value) const {
-  return cipher_->encrypt(tactics::ordered_key(value)).to_bytes();
+  return cipher_->encrypt(doc::ordered_key(value)).to_bytes();
 }
 
 void OpeTactic::on_insert(const DocId& id, const Value& value) {
@@ -82,7 +82,7 @@ AggregateResult OpeTactic::aggregate(schema::Aggregate agg) {
   // Decode the extreme: OPE is an invertible monotone injection, so the
   // gateway recovers the plaintext from the ciphertext alone.
   const auto ct = ppe::Ope128::from_bytes(wire::get_bin(obj, "score"));
-  out.value = tactics::ordered_key_inverse(cipher_->decrypt(ct));
+  out.value = doc::ordered_key_inverse(cipher_->decrypt(ct));
   out.count = 1;
   return out;
 }

@@ -1,7 +1,7 @@
 #include "core/tactics/ore_tactic.hpp"
 
 #include "core/tactics/builtin.hpp"
-#include "core/tactics/numeric.hpp"
+#include "doc/numeric.hpp"
 #include "core/wire.hpp"
 
 namespace datablinder::core {
@@ -39,7 +39,7 @@ void OreTactic::setup() {
 }
 
 void OreTactic::on_insert(const DocId& id, const Value& value) {
-  const auto right = cipher_->encrypt_right(tactics::ordered_key(value));
+  const auto right = cipher_->encrypt_right(doc::ordered_key(value));
   ctx_.cloud->call("ore.insert", wire::pack({{"col", Value(ctx_.collection)},
                                              {"field", Value(ctx_.field)},
                                              {"id", Value(id)},
@@ -53,8 +53,8 @@ void OreTactic::on_delete(const DocId& id, const Value&) {
 }
 
 std::vector<DocId> OreTactic::range_search(const Value& lo, const Value& hi) {
-  const auto left_lo = cipher_->encrypt_left(tactics::ordered_key(lo));
-  const auto left_hi = cipher_->encrypt_left(tactics::ordered_key(hi));
+  const auto left_lo = cipher_->encrypt_left(doc::ordered_key(lo));
+  const auto left_hi = cipher_->encrypt_left(doc::ordered_key(hi));
   const Bytes reply =
       ctx_.cloud->call("ore.range", wire::pack({{"col", Value(ctx_.collection)},
                                                 {"field", Value(ctx_.field)},

@@ -2,7 +2,7 @@
 
 #include <unordered_set>
 
-#include "core/tactics/numeric.hpp"
+#include "doc/numeric.hpp"
 #include "core/wire.hpp"
 
 namespace datablinder::core {
@@ -52,7 +52,7 @@ void RangeBrcTactic::setup() {
 }
 
 void RangeBrcTactic::send_updates(sse::MitraOp op, const Value& value, const DocId& id) {
-  const std::uint64_t x = tactics::ordered_key(value);
+  const std::uint64_t x = doc::ordered_key(value);
   for (const auto& token : client_->update(op, x, id)) {
     ctx_.cloud->call("mitra.update",
                      wire::pack({{"scope", Value(ctx_.scope("rangebrc"))},
@@ -76,7 +76,7 @@ void RangeBrcTactic::on_delete(const DocId& id, const Value& value) {
 
 std::vector<DocId> RangeBrcTactic::range_search(const Value& lo, const Value& hi) {
   const auto query =
-      client_->range_query(tactics::ordered_key(lo), tactics::ordered_key(hi));
+      client_->range_query(doc::ordered_key(lo), doc::ordered_key(hi));
   std::vector<DocId> out;
   std::unordered_set<DocId> seen;
   for (std::size_t i = 0; i < query.tokens.size(); ++i) {

@@ -33,7 +33,7 @@ const TacticDescriptor& SophosTactic::static_descriptor() {
 }
 
 void SophosTactic::setup() {
-  const Bytes prf_key = ctx_.kms->derive(ctx_.scope("sophos"), 32);
+  const SecretBytes prf_key = ctx_.kms->derive(ctx_.scope("sophos"), 32);
   const int modulus_bits = ctx_.param_int("sophos_modulus_bits", 768);
   client_.emplace(prf_key, static_cast<std::size_t>(modulus_bits));
   const sse::SophosPublicParams params = client_->public_params();

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 
 namespace datablinder::crypto {
 
@@ -18,6 +19,12 @@ class Aes {
 
   /// Key must be 16, 24 or 32 bytes; throws Error(kInvalidArgument) otherwise.
   explicit Aes(BytesView key);
+  explicit Aes(const SecretBytes& key);
+
+  Aes(const Aes&) = default;
+  Aes& operator=(const Aes&) = default;
+  /// The expanded key schedule is secret-derived: wipe it on destruction.
+  ~Aes() { secure_wipe(round_keys_); }
 
   /// Encrypts one 16-byte block in place.
   void encrypt_block(std::uint8_t block[kBlockSize]) const;

@@ -54,7 +54,10 @@ AesGcm::AesGcm(BytesView key) : aes_(key) {
   const U128 hv = load128(h);
   h_hi_ = hv.hi;
   h_lo_ = hv.lo;
+  secure_wipe(h);
 }
+
+AesGcm::AesGcm(const SecretBytes& key) : AesGcm(key.expose_secret()) {}
 
 Bytes AesGcm::ghash(BytesView aad, BytesView ciphertext) const {
   const U128 h{h_hi_, h_lo_};

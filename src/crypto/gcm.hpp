@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 #include "crypto/aes.hpp"
 
 namespace datablinder::crypto {
@@ -19,6 +20,15 @@ class AesGcm {
 
   /// Key must be 16, 24 or 32 bytes.
   explicit AesGcm(BytesView key);
+  explicit AesGcm(const SecretBytes& key);
+
+  AesGcm(const AesGcm&) = default;
+  AesGcm& operator=(const AesGcm&) = default;
+  /// The GHASH subkey is AES_K(0): key-derived, wiped on destruction.
+  ~AesGcm() {
+    secure_wipe({reinterpret_cast<std::uint8_t*>(&h_hi_), sizeof(h_hi_)});
+    secure_wipe({reinterpret_cast<std::uint8_t*>(&h_lo_), sizeof(h_lo_)});
+  }
 
   /// Encrypts with a caller-provided 12-byte nonce. Output layout is
   /// ciphertext || tag. Nonces MUST be unique per key.

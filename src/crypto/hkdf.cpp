@@ -29,11 +29,15 @@ Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length) {
     out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
     ++counter;
   }
+  secure_wipe(t);  // T(i) blocks are key material: no residue on the heap
   return out;
 }
 
 Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length) {
-  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+  Bytes prk = hkdf_extract(salt, ikm);
+  Bytes out = hkdf_expand(prk, info, length);
+  secure_wipe(prk);  // the PRK is a derived secret; wipe the scratch copy
+  return out;
 }
 
 }  // namespace datablinder::crypto

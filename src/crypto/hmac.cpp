@@ -4,7 +4,11 @@ namespace datablinder::crypto {
 
 HmacSha256::HmacSha256(BytesView key) {
   Bytes k(key.begin(), key.end());
-  if (k.size() > Sha256::kBlockSize) k = Sha256::digest(k);
+  if (k.size() > Sha256::kBlockSize) {
+    Bytes digest = Sha256::digest(k);
+    secure_wipe(k);
+    k = std::move(digest);
+  }
   k.resize(Sha256::kBlockSize, 0);
 
   inner_pad_.resize(Sha256::kBlockSize);
@@ -13,8 +17,11 @@ HmacSha256::HmacSha256(BytesView key) {
     inner_pad_[i] = k[i] ^ 0x36;
     outer_pad_[i] = k[i] ^ 0x5c;
   }
+  secure_wipe(k);  // transient key copy leaves no residue
   reset();
 }
+
+HmacSha256::HmacSha256(const SecretBytes& key) : HmacSha256(key.expose_secret()) {}
 
 void HmacSha256::reset() {
   inner_.reset();

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 #include "crypto/sha256.hpp"
 
 namespace datablinder::crypto {
@@ -15,6 +16,15 @@ class HmacSha256 {
 
   /// Keys of any length are accepted (hashed down if > block size).
   explicit HmacSha256(BytesView key);
+  explicit HmacSha256(const SecretBytes& key);
+
+  HmacSha256(const HmacSha256&) = default;
+  HmacSha256& operator=(const HmacSha256&) = default;
+  /// The pads are key-derived: wipe them on destruction.
+  ~HmacSha256() {
+    secure_wipe(inner_pad_);
+    secure_wipe(outer_pad_);
+  }
 
   void update(BytesView data);
   Bytes finalize();

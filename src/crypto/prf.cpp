@@ -34,4 +34,26 @@ std::uint64_t prf_mod(BytesView key, BytesView input, std::uint64_t bound) {
   return prf_u64(key, input) % bound;
 }
 
+// SecretBytes overloads: the one sanctioned unwrap point for PRF callers,
+// so scheme code passes tainted keys without touching expose_secret().
+Bytes prf(const SecretBytes& key, BytesView input) {
+  return prf(key.expose_secret(), input);
+}
+
+Bytes prf_labeled(const SecretBytes& key, std::string_view label, BytesView input) {
+  return prf_labeled(key.expose_secret(), label, input);
+}
+
+Bytes prf_n(const SecretBytes& key, BytesView input, std::size_t n) {
+  return prf_n(key.expose_secret(), input, n);
+}
+
+std::uint64_t prf_u64(const SecretBytes& key, BytesView input) {
+  return prf_u64(key.expose_secret(), input);
+}
+
+std::uint64_t prf_mod(const SecretBytes& key, BytesView input, std::uint64_t bound) {
+  return prf_mod(key.expose_secret(), input, bound);
+}
+
 }  // namespace datablinder::crypto

@@ -8,23 +8,29 @@
 #include <string_view>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 
 namespace datablinder::crypto {
 
 /// PRF(key, input) -> 32 bytes (HMAC-SHA256).
 Bytes prf(BytesView key, BytesView input);
+Bytes prf(const SecretBytes& key, BytesView input);
 
 /// PRF with a domain-separation label, convenient for protocol design:
 /// PRF(key, label || 0x00 || input).
 Bytes prf_labeled(BytesView key, std::string_view label, BytesView input);
+Bytes prf_labeled(const SecretBytes& key, std::string_view label, BytesView input);
 
 /// PRF truncated/expanded to exactly `n` bytes (HKDF-expand when n > 32).
 Bytes prf_n(BytesView key, BytesView input, std::size_t n);
+Bytes prf_n(const SecretBytes& key, BytesView input, std::size_t n);
 
 /// PRF producing a uint64 (first 8 bytes big-endian).
 std::uint64_t prf_u64(BytesView key, BytesView input);
+std::uint64_t prf_u64(const SecretBytes& key, BytesView input);
 
 /// Small-domain PRF used by ORE: maps input to a value in [0, bound).
 std::uint64_t prf_mod(BytesView key, BytesView input, std::uint64_t bound);
+std::uint64_t prf_mod(const SecretBytes& key, BytesView input, std::uint64_t bound);
 
 }  // namespace datablinder::crypto

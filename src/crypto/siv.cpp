@@ -10,9 +10,11 @@ namespace datablinder::crypto {
 
 AesSiv::AesSiv(BytesView key) {
   require(key.size() == 32, "AesSiv: key must be 32 bytes");
-  mac_key_.assign(key.begin(), key.begin() + 16);
-  enc_key_.assign(key.begin() + 16, key.end());
+  mac_key_ = SecretBytes::from_view(key.first(16));
+  enc_key_ = SecretBytes::from_view(key.subspan(16));
 }
+
+AesSiv::AesSiv(const SecretBytes& key) : AesSiv(key.expose_secret()) {}
 
 Bytes AesSiv::compute_siv(BytesView plaintext, BytesView aad) const {
   // S2V simplified: HMAC over len(aad) || aad || plaintext, truncated to 16B.

@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 
 namespace datablinder::crypto {
 
@@ -18,6 +19,7 @@ class AesSiv {
 
   /// Key must be 32 bytes; it is split into a MAC half and a CTR half.
   explicit AesSiv(BytesView key);
+  explicit AesSiv(const SecretBytes& key);
 
   /// Deterministic encryption: output = SIV || ciphertext.
   Bytes seal(BytesView plaintext, BytesView aad = {}) const;
@@ -28,8 +30,8 @@ class AesSiv {
  private:
   Bytes compute_siv(BytesView plaintext, BytesView aad) const;
 
-  Bytes mac_key_;
-  Bytes enc_key_;
+  SecretBytes mac_key_;
+  SecretBytes enc_key_;
 };
 
 }  // namespace datablinder::crypto

@@ -1,4 +1,5 @@
-// Order-preserving numeric normalization shared by the OPE and ORE tactics.
+// Order-preserving numeric normalization shared by the OPE/ORE tactics and
+// the onion baseline (lives in doc/ so lower layers need not reach into core/).
 //
 // Field values (int or double) map to uint64 keys whose unsigned order
 // equals the numeric order, using the IEEE-754 total-order bit trick. The
@@ -11,7 +12,7 @@
 #include "common/status.hpp"
 #include "doc/value.hpp"
 
-namespace datablinder::core::tactics {
+namespace datablinder::doc {
 
 inline std::uint64_t ordered_key(const doc::Value& v) {
   if (v.type() != doc::ValueType::kInt && v.type() != doc::ValueType::kDouble) {
@@ -30,4 +31,4 @@ inline double ordered_key_inverse(std::uint64_t key) {
   return std::bit_cast<double>(bits);
 }
 
-}  // namespace datablinder::core::tactics
+}  // namespace datablinder::doc

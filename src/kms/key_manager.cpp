@@ -12,19 +12,25 @@ KeyManager::KeyManager(Bytes master_key) : master_(std::move(master_key)) {
   require(master_.size() >= 16, "KeyManager: master key too short");
 }
 
-Bytes KeyManager::derive(const std::string& scope, std::size_t length) {
+KeyManager::KeyManager(SecretBytes master_key) : master_(std::move(master_key)) {
+  require(master_.size() >= 16, "KeyManager: master key too short");
+}
+
+SecretBytes KeyManager::derive(const std::string& scope, std::size_t length) {
   std::lock_guard lock(mutex_);
   const std::uint64_t ep = epochs_[scope];
   const std::string cache_key =
       scope + "#" + std::to_string(ep) + "#" + std::to_string(length);
   auto it = cache_.find(cache_key);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) return it->second.clone();
 
   Bytes info = to_bytes(scope);
   append(info, be64(ep));
-  Bytes key = crypto::hkdf(to_bytes("datablinder-kms"), master_, info, length);
-  cache_.emplace(cache_key, key);
-  return key;
+  SecretBytes key(crypto::hkdf(to_bytes("datablinder-kms"), master_.expose_secret(),
+                               info, length));
+  SecretBytes out = key.clone();
+  cache_.emplace(cache_key, std::move(key));
+  return out;
 }
 
 std::uint64_t KeyManager::rotate(const std::string& scope) {

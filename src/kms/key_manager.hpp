@@ -5,6 +5,10 @@
 // structured info string ("<tactic>/<collection>/<field>/<epoch>").
 // Rotation bumps an epoch counter per scope; derived keys are cached and
 // never leave the trusted zone.
+//
+// All key material lives in SecretBytes: zeroized storage, no implicit
+// conversion to Bytes, redacted formatting. derive() hands callers a
+// SecretBytes they move straight into a cipher constructor.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +17,7 @@
 #include <unordered_map>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 
 namespace datablinder::kms {
 
@@ -21,12 +26,16 @@ class KeyManager {
   /// Fresh random master key.
   KeyManager();
 
-  /// Deterministic master key (tests / multi-process sharing).
+  /// Deterministic master key (tests / multi-process sharing). Adopts the
+  /// buffer: the caller's copy is wiped.
   explicit KeyManager(Bytes master_key);
+
+  /// Deterministic master key, already tainted.
+  explicit KeyManager(SecretBytes master_key);
 
   /// Derives (and caches) a key of `length` bytes for a scope string such
   /// as "det/observations/status". Stable across calls until rotated.
-  Bytes derive(const std::string& scope, std::size_t length = 32);
+  SecretBytes derive(const std::string& scope, std::size_t length = 32);
 
   /// Bumps the scope's epoch: subsequent derive() calls return a fresh key.
   /// Returns the new epoch.
@@ -39,9 +48,9 @@ class KeyManager {
 
  private:
   mutable std::mutex mutex_;
-  Bytes master_;
+  SecretBytes master_;
   std::unordered_map<std::string, std::uint64_t> epochs_;
-  std::unordered_map<std::string, Bytes> cache_;  // "<scope>#<epoch>#<len>"
+  std::unordered_map<std::string, SecretBytes> cache_;  // "<scope>#<epoch>#<len>"
 };
 
 }  // namespace datablinder::kms

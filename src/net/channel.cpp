@@ -3,23 +3,18 @@
 #include <chrono>
 #include <thread>
 
+#include "common/rng.hpp"
 #include "common/status.hpp"
 
 namespace datablinder::net {
 
-namespace {
-std::uint64_t seed_or_random(std::uint64_t seed) {
-  return seed != 0 ? seed : std::random_device{}();
-}
-}  // namespace
-
 Channel::Channel(ChannelConfig config)
-    : config_(config), rng_(seed_or_random(config.fault_seed)) {}
+    : config_(config), rng_(DetRng::seed_or_entropy(config.fault_seed)) {}
 
 void Channel::set_config(const ChannelConfig& config) {
   std::lock_guard lock(mutex_);
   if (config.fault_seed != config_.fault_seed || config.fault_seed != 0) {
-    rng_.seed(seed_or_random(config.fault_seed));
+    rng_.seed(DetRng::seed_or_entropy(config.fault_seed));
   }
   config_ = config;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <random>
 
+#include "common/rng.hpp"
+
 namespace datablinder::net {
 
 void RpcServer::register_method(const std::string& method, Handler handler) {
@@ -233,8 +235,7 @@ Bytes RpcClient::call(const std::string& method, BytesView payload) {
 
   const std::uint64_t start_us = clock->now_us();
   std::uint64_t backoff_us = policy.initial_backoff_us;
-  std::mt19937_64 jitter_rng(policy.jitter_seed != 0 ? policy.jitter_seed
-                                                     : std::random_device{}());
+  std::mt19937_64 jitter_rng(DetRng::seed_or_entropy(policy.jitter_seed));
   const std::uint32_t max_attempts =
       policy.enabled ? std::max<std::uint32_t>(1, policy.max_attempts) : 1;
 

@@ -1,8 +1,8 @@
 #include "onion/onion.hpp"
 
 #include "common/status.hpp"
-#include "core/tactics/numeric.hpp"
 #include "crypto/hkdf.hpp"
+#include "doc/numeric.hpp"
 
 namespace datablinder::onion {
 
@@ -19,16 +19,29 @@ std::string to_string(OnionLevel level) {
 
 OnionClient::OnionClient(BytesView master_key, const std::string& column, bool numeric)
     : column_(column), numeric_(numeric) {
-  rnd_key_ = crypto::hkdf({}, master_key, to_bytes("onion-rnd/" + column), 32);
-  det_key_ = crypto::hkdf({}, master_key, to_bytes("onion-det/" + column), 32);
-  ope_key_ = crypto::hkdf({}, master_key, to_bytes("onion-ope/" + column), 32);
+  rnd_key_ = SecretBytes(crypto::hkdf({}, master_key, to_bytes("onion-rnd/" + column), 32));
+  det_key_ = SecretBytes(crypto::hkdf({}, master_key, to_bytes("onion-det/" + column), 32));
+  ope_key_ = SecretBytes(crypto::hkdf({}, master_key, to_bytes("onion-ope/" + column), 32));
+}
+
+// Layer-key reveal: CryptDB's peeling protocol hands the raw key to the
+// server on purpose — the irreversible leakage ratchet the paper contrasts
+// against. This is a modelled disclosure, not an accident.
+Bytes OnionClient::rnd_layer_key() const {
+  const BytesView k = rnd_key_.expose_secret();
+  return Bytes(k.begin(), k.end());
+}
+
+Bytes OnionClient::det_layer_key() const {
+  const BytesView k = det_key_.expose_secret();
+  return Bytes(k.begin(), k.end());
 }
 
 Bytes OnionClient::inner_core(const Value& v) const {
   if (numeric_) {
     // Numeric core: the OPE ciphertext (order-preserving 16 bytes).
     const ppe::OpeCipher ope(ope_key_, column_);
-    return ope.encrypt(core::tactics::ordered_key(v)).to_bytes();
+    return ope.encrypt(doc::ordered_key(v)).to_bytes();
   }
   return v.scalar_bytes();
 }
@@ -47,8 +60,8 @@ Bytes OnionClient::eq_token(const Value& v) const {
 std::pair<Bytes, Bytes> OnionClient::range_tokens(const Value& lo, const Value& hi) const {
   require(numeric_, "onion: range tokens need a numeric column");
   const ppe::OpeCipher ope(ope_key_, column_);
-  return {ope.encrypt(core::tactics::ordered_key(lo)).to_bytes(),
-          ope.encrypt(core::tactics::ordered_key(hi)).to_bytes()};
+  return {ope.encrypt(doc::ordered_key(lo)).to_bytes(),
+          ope.encrypt(doc::ordered_key(hi)).to_bytes()};
 }
 
 Bytes OnionClient::decrypt_core(BytesView onion, OnionLevel level) const {
@@ -113,8 +126,11 @@ std::vector<std::string> OnionColumnServer::find_eq(BytesView det_token) const {
   std::vector<std::string> out;
   if (level_ == OnionLevel::kDet) {
     for (const auto& [id, onion] : rows_) {
+      // DET labels are server-visible ciphertexts: this match is the leak
+      // the DET level advertises, so variable-time comparison is fine.
       if (BytesView(onion).size() == det_token.size() &&
-          std::equal(onion.begin(), onion.end(), det_token.begin())) {
+          std::equal(onion.begin(), onion.end(),  // dblint:allow(ct-compare): public DET label match
+                     det_token.begin())) {
         out.push_back(id);
       }
     }

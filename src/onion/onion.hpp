@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 #include "doc/value.hpp"
 #include "ppe/det.hpp"
 #include "ppe/ope.hpp"
@@ -62,9 +63,10 @@ class OnionClient {
   Bytes decrypt_core(BytesView onion, OnionLevel level) const;
 
   /// The layer keys the client must REVEAL to the server to enable peeling
-  /// — the act that makes CryptDB's leakage permanent.
-  Bytes rnd_layer_key() const { return rnd_key_; }
-  Bytes det_layer_key() const { return det_key_; }
+  /// — the act that makes CryptDB's leakage permanent. These are the only
+  /// places key material deliberately leaves SecretBytes custody.
+  Bytes rnd_layer_key() const;
+  Bytes det_layer_key() const;
 
   bool numeric() const noexcept { return numeric_; }
 
@@ -73,9 +75,9 @@ class OnionClient {
 
   std::string column_;
   bool numeric_;
-  Bytes rnd_key_;
-  Bytes det_key_;
-  Bytes ope_key_;
+  SecretBytes rnd_key_;
+  SecretBytes det_key_;
+  SecretBytes ope_key_;
 };
 
 /// Server-side column store: holds onions at the column's current level and

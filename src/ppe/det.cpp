@@ -5,6 +5,9 @@ namespace datablinder::ppe {
 DetCipher::DetCipher(BytesView key, std::string_view context)
     : siv_(key), context_(to_bytes(context)) {}
 
+DetCipher::DetCipher(const SecretBytes& key, std::string_view context)
+    : siv_(key), context_(to_bytes(context)) {}
+
 Bytes DetCipher::encrypt(BytesView plaintext) const {
   return siv_.seal(plaintext, context_);
 }

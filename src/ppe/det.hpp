@@ -11,6 +11,7 @@
 #include <string_view>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 #include "crypto/siv.hpp"
 
 namespace datablinder::ppe {
@@ -19,6 +20,7 @@ class DetCipher {
  public:
   /// Key must be 32 bytes. `context` scopes ciphertexts (e.g. "obs.status").
   DetCipher(BytesView key, std::string_view context);
+  DetCipher(const SecretBytes& key, std::string_view context);
 
   /// Deterministic: same plaintext -> same ciphertext within this context.
   Bytes encrypt(BytesView plaintext) const;

@@ -26,9 +26,11 @@ Ope128 Ope128::from_bytes(BytesView b) {
   return Ope128{read_be64(b.first(8)), read_be64(b.subspan(8))};
 }
 
-OpeCipher::OpeCipher(BytesView key, std::string_view context) {
-  key_ = crypto::prf_labeled(key, "ope-key", to_bytes(context));
-}
+OpeCipher::OpeCipher(BytesView key, std::string_view context)
+    : key_(crypto::prf_labeled(key, "ope-key", to_bytes(context))) {}
+
+OpeCipher::OpeCipher(const SecretBytes& key, std::string_view context)
+    : OpeCipher(key.expose_secret(), context) {}
 
 Ope128 OpeCipher::encrypt(std::uint64_t plaintext) const {
   // Ciphertext interval [lo, hi) starts as the full 128-bit space.

@@ -15,6 +15,7 @@
 #include <string_view>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 
 namespace datablinder::ppe {
 
@@ -34,6 +35,7 @@ class OpeCipher {
  public:
   /// Key length arbitrary (hashed); `context` domain-separates fields.
   OpeCipher(BytesView key, std::string_view context);
+  OpeCipher(const SecretBytes& key, std::string_view context);
 
   /// Order-preserving: x < y implies encrypt(x) < encrypt(y).
   Ope128 encrypt(std::uint64_t plaintext) const;
@@ -44,7 +46,7 @@ class OpeCipher {
   std::uint64_t decrypt(const Ope128& ciphertext) const;
 
  private:
-  Bytes key_;
+  SecretBytes key_;
 };
 
 }  // namespace datablinder::ppe

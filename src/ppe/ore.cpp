@@ -68,9 +68,12 @@ OreCipher::OreCipher(BytesView key, std::string_view context, std::size_t bits)
     : bits_(bits) {
   require(bits > 0 && bits <= 64 && bits % kBlockBits == 0,
           "OreCipher: bits must be a positive multiple of 4, <= 64");
-  prf_key_ = crypto::prf_labeled(key, "ore-prf", to_bytes(context));
-  prp_key_ = crypto::prf_labeled(key, "ore-prp", to_bytes(context));
+  prf_key_ = SecretBytes(crypto::prf_labeled(key, "ore-prf", to_bytes(context)));
+  prp_key_ = SecretBytes(crypto::prf_labeled(key, "ore-prp", to_bytes(context)));
 }
+
+OreCipher::OreCipher(const SecretBytes& key, std::string_view context, std::size_t bits)
+    : OreCipher(key.expose_secret(), context, bits) {}
 
 std::uint8_t OreCipher::permute(std::size_t block, std::uint8_t value) const {
   // Keyed Fisher–Yates over the 16 slots, seeded per block. Deterministic
@@ -78,7 +81,9 @@ std::uint8_t OreCipher::permute(std::size_t block, std::uint8_t value) const {
   std::array<std::uint8_t, kSlots> perm;
   std::iota(perm.begin(), perm.end(), 0);
   const Bytes seed = crypto::prf_labeled(prp_key_, "slot-perm", be64(block));
-  DetRng rng(read_be64(seed));
+  // The PRF output seeds the shuffle, so this stays a keyed PRP — the
+  // generator is a deterministic expander here, not an entropy source.
+  DetRng rng(read_be64(seed));  // dblint:allow(rng): PRF-seeded keyed permutation
   for (std::size_t i = kSlots - 1; i > 0; --i) {
     std::swap(perm[i], perm[rng.uniform(i + 1)]);
   }

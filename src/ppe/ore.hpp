@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 
 namespace datablinder::ppe {
 
@@ -49,6 +50,7 @@ class OreCipher {
 
   /// `bits` is the plaintext domain width (must be a multiple of 4, <= 64).
   OreCipher(BytesView key, std::string_view context, std::size_t bits = 64);
+  OreCipher(const SecretBytes& key, std::string_view context, std::size_t bits = 64);
 
   /// Query-side token for `plaintext`.
   OreLeft encrypt_left(std::uint64_t plaintext) const;
@@ -65,8 +67,8 @@ class OreCipher {
   std::uint8_t permute(std::size_t block, std::uint8_t value) const;
   Bytes block_pad_key(std::size_t block, std::uint64_t prefix, std::uint8_t value) const;
 
-  Bytes prf_key_;   // pads comparison trits
-  Bytes prp_key_;   // permutes table slots
+  SecretBytes prf_key_;  // pads comparison trits
+  SecretBytes prp_key_;  // permutes table slots
   std::size_t bits_;
 };
 

@@ -5,6 +5,9 @@ namespace datablinder::ppe {
 RndCipher::RndCipher(BytesView key, std::string_view context)
     : gcm_(key), context_(to_bytes(context)) {}
 
+RndCipher::RndCipher(const SecretBytes& key, std::string_view context)
+    : gcm_(key), context_(to_bytes(context)) {}
+
 Bytes RndCipher::encrypt(BytesView plaintext) const {
   return gcm_.seal_random_nonce(plaintext, context_);
 }

@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 #include "crypto/gcm.hpp"
 
 namespace datablinder::ppe {
@@ -18,6 +19,7 @@ class RndCipher {
  public:
   /// Key must be 16/24/32 bytes. `context` is bound as associated data.
   RndCipher(BytesView key, std::string_view context);
+  RndCipher(const SecretBytes& key, std::string_view context);
 
   /// Probabilistic: repeated calls on the same plaintext differ.
   Bytes encrypt(BytesView plaintext) const;

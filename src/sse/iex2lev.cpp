@@ -37,9 +37,12 @@ std::vector<std::vector<Bytes>> Iex2LevServer::search(const IexConjToken& token)
   return out;
 }
 
-Iex2LevClient::Iex2LevClient(BytesView key) : key_(key.begin(), key.end()) {
+Iex2LevClient::Iex2LevClient(BytesView key) : key_(SecretBytes::from_view(key)) {
   require(!key_.empty(), "Iex2LevClient: empty key");
 }
+
+Iex2LevClient::Iex2LevClient(const SecretBytes& key)
+    : Iex2LevClient(key.expose_secret()) {}
 
 std::string Iex2LevClient::global_stream(const std::string& w) { return "g\x01" + w; }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 #include "sse/index_common.hpp"
 
 namespace datablinder::sse {
@@ -61,6 +62,7 @@ class Iex2LevServer {
 class Iex2LevClient {
  public:
   explicit Iex2LevClient(BytesView key);
+  explicit Iex2LevClient(const SecretBytes& key);
 
   /// Indexes `id` under every keyword and every ordered keyword pair.
   std::vector<IexUpdateToken> update(IexOp op, const std::vector<std::string>& keywords,
@@ -90,7 +92,7 @@ class Iex2LevClient {
   static std::string global_stream(const std::string& w);
   static std::string pair_stream(const std::string& w, const std::string& v);
 
-  Bytes key_;
+  SecretBytes key_;
   KeywordCounters counters_;  // counts per stream (global and pair streams)
 };
 

@@ -69,12 +69,15 @@ std::vector<Bytes> IexZmfServer::search(const ZmfConjToken& token) const {
 }
 
 IexZmfClient::IexZmfClient(BytesView key, ZmfFilterParams params)
-    : key_(key.begin(), key.end()), params_(params) {
+    : key_(SecretBytes::from_view(key)), params_(params) {
   require(!key_.empty(), "IexZmfClient: empty key");
   require(params_.filter_bits % 8 == 0 && params_.filter_bits > 0,
           "IexZmfClient: filter_bits must be a positive multiple of 8");
   require(params_.num_hashes > 0, "IexZmfClient: num_hashes must be positive");
 }
+
+IexZmfClient::IexZmfClient(const SecretBytes& key, ZmfFilterParams params)
+    : IexZmfClient(key.expose_secret(), params) {}
 
 Bytes IexZmfClient::keyword_token(const std::string& w) const {
   return crypto::prf_labeled(key_, "zmf-kw", to_bytes(w));

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 #include "sse/iex2lev.hpp"  // reuses BoolQuery / IexOp
 #include "sse/index_common.hpp"
 
@@ -68,6 +69,7 @@ class IexZmfServer {
 class IexZmfClient {
  public:
   explicit IexZmfClient(BytesView key, ZmfFilterParams params = {});
+  explicit IexZmfClient(const SecretBytes& key, ZmfFilterParams params = {});
 
   std::vector<ZmfUpdateToken> update(IexOp op, const std::vector<std::string>& keywords,
                                      const DocId& id);
@@ -90,7 +92,7 @@ class IexZmfClient {
  private:
   Bytes keyword_token(const std::string& w) const;
 
-  Bytes key_;
+  SecretBytes key_;
   ZmfFilterParams params_;
   KeywordCounters counters_;
 };

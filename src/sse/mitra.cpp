@@ -29,9 +29,11 @@ std::vector<Bytes> MitraServer::search(const MitraSearchToken& token) const {
   return out;
 }
 
-MitraClient::MitraClient(BytesView key) : key_(key.begin(), key.end()) {
+MitraClient::MitraClient(BytesView key) : key_(SecretBytes::from_view(key)) {
   require(!key_.empty(), "MitraClient: empty key");
 }
+
+MitraClient::MitraClient(const SecretBytes& key) : MitraClient(key.expose_secret()) {}
 
 Bytes MitraClient::address_for(const std::string& keyword, std::uint64_t count) const {
   return crypto::prf(key_, keyword_input(keyword, count, 0));

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 #include "sse/index_common.hpp"
 
 namespace datablinder::sse {
@@ -51,6 +52,7 @@ class MitraServer {
 class MitraClient {
  public:
   explicit MitraClient(BytesView key);
+  explicit MitraClient(const SecretBytes& key);
 
   MitraUpdateToken update(MitraOp op, const std::string& keyword, const DocId& id);
 
@@ -78,7 +80,7 @@ class MitraClient {
   Bytes address_for(const std::string& keyword, std::uint64_t count) const;
   Bytes pad_for(const std::string& keyword, std::uint64_t count) const;
 
-  Bytes key_;
+  SecretBytes key_;
   KeywordCounters counters_;
 };
 

@@ -39,10 +39,13 @@ std::vector<Bytes> MitraStatelessServer::search(const MitraSearchToken& token) c
 }
 
 MitraStatelessClient::MitraStatelessClient(BytesView key)
-    : key_(key.begin(), key.end()),
+    : key_(SecretBytes::from_view(key)),
       counter_key_(crypto::prf_labeled(key, "mitra-sl-counter", {})) {
   require(!key_.empty(), "MitraStatelessClient: empty key");
 }
+
+MitraStatelessClient::MitraStatelessClient(const SecretBytes& key)
+    : MitraStatelessClient(key.expose_secret()) {}
 
 Bytes MitraStatelessClient::counter_label(const std::string& keyword) const {
   return crypto::prf_labeled(key_, "mitra-sl-slot", to_bytes(keyword));

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 #include "sse/index_common.hpp"
 #include "sse/mitra.hpp"
 
@@ -53,6 +54,7 @@ class MitraStatelessServer {
 class MitraStatelessClient {
  public:
   explicit MitraStatelessClient(BytesView key);
+  explicit MitraStatelessClient(const SecretBytes& key);
 
   /// The fixed counter-slot label for a keyword (request payload of the
   /// first protocol round).
@@ -78,8 +80,8 @@ class MitraStatelessClient {
                              const std::vector<Bytes>& values) const;
 
  private:
-  Bytes key_;
-  Bytes counter_key_;
+  SecretBytes key_;
+  SecretBytes counter_key_;
 };
 
 }  // namespace datablinder::sse

@@ -52,6 +52,9 @@ std::vector<DyadicInterval> best_range_cover(std::uint64_t lo, std::uint64_t hi)
 RangeBrcClient::RangeBrcClient(BytesView key, std::string scope)
     : scope_(std::move(scope)), mitra_(key) {}
 
+RangeBrcClient::RangeBrcClient(const SecretBytes& key, std::string scope)
+    : scope_(std::move(scope)), mitra_(key) {}
+
 std::vector<MitraUpdateToken> RangeBrcClient::update(MitraOp op, std::uint64_t x,
                                                      const DocId& id) {
   std::vector<MitraUpdateToken> tokens;

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/secret.hpp"
 #include "sse/mitra.hpp"
 
 namespace datablinder::sse {
@@ -58,6 +59,7 @@ std::vector<DyadicInterval> best_range_cover(std::uint64_t lo, std::uint64_t hi)
 class RangeBrcClient {
  public:
   explicit RangeBrcClient(BytesView key, std::string scope);
+  explicit RangeBrcClient(const SecretBytes& key, std::string scope);
 
   /// 64 update tokens (one per level) for adding/removing `x`.
   std::vector<MitraUpdateToken> update(MitraOp op, std::uint64_t x, const DocId& id);

@@ -42,7 +42,7 @@ std::vector<DocId> SophosServer::search(const SophosSearchToken& token) const {
 }
 
 SophosClient::SophosClient(BytesView prf_key, std::size_t modulus_bits)
-    : prf_key_(prf_key.begin(), prf_key.end()) {
+    : prf_key_(SecretBytes::from_view(prf_key)) {
   require(!prf_key_.empty(), "SophosClient: empty PRF key");
   require(modulus_bits >= 128, "SophosClient: modulus too small");
   const auto [p, q] = bigint::generate_prime_pair(modulus_bits / 2);
@@ -51,6 +51,9 @@ SophosClient::SophosClient(BytesView prf_key, std::size_t modulus_bits)
   const BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
   d_ = e_.inv_mod(phi);
 }
+
+SophosClient::SophosClient(const SecretBytes& prf_key, std::size_t modulus_bits)
+    : SophosClient(prf_key.expose_secret(), modulus_bits) {}
 
 SophosPublicParams SophosClient::public_params() const { return {n_, e_}; }
 

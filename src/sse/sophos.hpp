@@ -19,6 +19,7 @@
 
 #include "bigint/bigint.hpp"
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 #include "sse/index_common.hpp"
 
 namespace datablinder::sse {
@@ -65,6 +66,7 @@ class SophosClient {
  public:
   /// Generates fresh RSA trapdoor material (modulus_bits) and a PRF key.
   SophosClient(BytesView prf_key, std::size_t modulus_bits);
+  SophosClient(const SecretBytes& prf_key, std::size_t modulus_bits);
 
   SophosPublicParams public_params() const;
 
@@ -84,7 +86,7 @@ class SophosClient {
 
   Bytes kw_token(const std::string& keyword) const;
 
-  Bytes prf_key_;
+  SecretBytes prf_key_;
   BigInt n_, e_, d_;  // RSA trapdoor permutation
   std::unordered_map<std::string, KeywordState> state_;
 };

@@ -25,10 +25,13 @@ std::size_t TwoLevServerIndex::storage_bytes() const {
 }
 
 TwoLevClient::TwoLevClient(BytesView key, TwoLevParams params)
-    : key_(key.begin(), key.end()), params_(params) {
+    : key_(SecretBytes::from_view(key)), params_(params) {
   require(!key_.empty(), "TwoLevClient: empty key");
   require(params_.bucket_capacity > 0, "TwoLevClient: bucket_capacity must be > 0");
 }
+
+TwoLevClient::TwoLevClient(const SecretBytes& key, TwoLevParams params)
+    : TwoLevClient(key.expose_secret(), params) {}
 
 Bytes TwoLevClient::entry_key_for(const std::string& keyword) const {
   return crypto::prf_labeled(key_, "2lev-key", to_bytes(keyword));
@@ -88,7 +91,11 @@ TwoLevServerIndex TwoLevClient::build(
   // grouping information.
   std::vector<std::uint32_t> position(pending.size());
   for (std::uint32_t i = 0; i < position.size(); ++i) position[i] = i;
-  DetRng shuffle_rng(crypto::prf_u64(key_, to_bytes("2lev-shuffle")));
+  // PRG-shuffled bucket placement: the shuffle seed is a PRF of the index
+  // key, so the generator acts as a deterministic expander, not an entropy
+  // source — rebuilding with the same key reproduces the same layout.
+  DetRng shuffle_rng(  // dblint:allow(rng): PRF-seeded deterministic shuffle
+      crypto::prf_u64(key_, to_bytes("2lev-shuffle")));
   for (std::size_t i = position.size(); i > 1; --i) {
     std::swap(position[i - 1], position[shuffle_rng.uniform(i)]);
   }

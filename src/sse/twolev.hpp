@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 #include "sse/index_common.hpp"
 
 namespace datablinder::sse {
@@ -56,6 +57,7 @@ struct TwoLevToken {
 class TwoLevClient {
  public:
   explicit TwoLevClient(BytesView key, TwoLevParams params = {});
+  explicit TwoLevClient(const SecretBytes& key, TwoLevParams params = {});
 
   /// Setup protocol: builds the full index from the plaintext multimap.
   /// Buckets are padded to capacity and placed in PRG-shuffled order.
@@ -78,7 +80,7 @@ class TwoLevClient {
  private:
   Bytes entry_key_for(const std::string& keyword) const;
 
-  Bytes key_;
+  SecretBytes key_;
   TwoLevParams params_;
 };
 

@@ -132,9 +132,16 @@ double ScenarioB::aggregate_average(const std::string& field) {
 
 // --- S_C ------------------------------------------------------------------
 
+namespace {
+core::GatewayConfig scenario_c_config() {
+  core::GatewayConfig config;
+  config.tactic_params = {{"paillier_modulus_bits", "512"}};
+  return config;
+}
+}  // namespace
+
 ScenarioC::ScenarioC(ScenarioHarness& h, const core::TacticRegistry& registry)
-    : gateway_(h.rpc, h.kms, h.local_store, registry,
-               core::GatewayConfig{{{"paillier_modulus_bits", "512"}}}) {
+    : gateway_(h.rpc, h.kms, h.local_store, registry, scenario_c_config()) {
   gateway_.register_schema(fhir::benchmark_schema("observations"));
 }
 

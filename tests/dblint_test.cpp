@@ -1,0 +1,250 @@
+// dblint rule tests: every rule (R1–R5) must fire on a bad fixture, stay
+// quiet on the matching good fixture, honour `// dblint:allow(<rule>)`
+// escapes, and — via DBLINT_REPO_ROOT — report the real tree clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace dblint {
+namespace {
+
+bool has_rule(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+int line_of(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  for (const Diagnostic& d : diags) {
+    if (d.rule == rule) return d.line;
+  }
+  return -1;
+}
+
+// --- R1: ct-compare --------------------------------------------------------
+
+TEST(DblintCtCompare, FlagsMemcmp) {
+  const std::string bad =
+      "bool check(const Bytes& a, const Bytes& b) {\n"
+      "  return memcmp(a.data(), b.data(), a.size()) == 0;\n"
+      "}\n";
+  const auto diags = lint_file("src/core/x.cpp", bad);
+  EXPECT_TRUE(has_rule(diags, "ct-compare"));
+  EXPECT_EQ(line_of(diags, "ct-compare"), 2);
+}
+
+TEST(DblintCtCompare, FlagsEqualityOnSecretNamedBuffer) {
+  EXPECT_TRUE(has_rule(lint_file("src/core/x.cpp", "if (auth_tag == expected) fail();\n"),
+                       "ct-compare"));
+  EXPECT_TRUE(has_rule(lint_file("src/core/x.cpp", "if (computed != mac_) reject();\n"),
+                       "ct-compare"));
+  EXPECT_TRUE(has_rule(lint_file("src/core/x.cpp",
+                                 "bool same = std::equal(t.begin(), t.end(),\n"
+                                 "                       search_token.begin());\n"),
+                       "ct-compare"));
+}
+
+TEST(DblintCtCompare, SizeComparisonAndBenignNamesPass) {
+  // .size() on a token buffer is public metadata; `keyword` is not `key`.
+  EXPECT_FALSE(has_rule(
+      lint_file("src/core/x.cpp", "if (det_token.size() == onion.size()) go();\n"),
+      "ct-compare"));
+  EXPECT_FALSE(has_rule(lint_file("src/core/x.cpp", "if (keyword == other) go();\n"),
+                        "ct-compare"));
+  EXPECT_FALSE(has_rule(
+      lint_file("src/core/x.cpp", "bool operator==(const Token& o) const = default;\n"),
+      "ct-compare"));
+}
+
+TEST(DblintCtCompare, AllowEscapeSuppresses) {
+  const std::string escaped =
+      "if (det_token == label) {  // dblint:allow(ct-compare): public label\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_file("src/core/x.cpp", escaped), "ct-compare"));
+  // The marker may also sit on the line above.
+  const std::string above =
+      "// dblint:allow(ct-compare): public label\n"
+      "if (det_token == label) go();\n";
+  EXPECT_FALSE(has_rule(lint_file("src/core/x.cpp", above), "ct-compare"));
+  // An escape for a DIFFERENT rule does not suppress.
+  const std::string wrong_rule =
+      "if (det_token == label) {  // dblint:allow(rng): unrelated\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(lint_file("src/core/x.cpp", wrong_rule), "ct-compare"));
+}
+
+// --- R2: rng ---------------------------------------------------------------
+
+TEST(DblintRng, FlagsWeakRngInCryptoDirs) {
+  for (const char* path : {"src/crypto/x.cpp", "src/kms/x.cpp", "src/ppe/x.cpp",
+                           "src/sse/x.cpp", "src/phe/x.cpp"}) {
+    EXPECT_TRUE(has_rule(lint_file(path, "DetRng rng(42);\n"), "rng")) << path;
+    EXPECT_TRUE(has_rule(lint_file(path, "std::mt19937_64 gen(seed);\n"), "rng")) << path;
+    EXPECT_TRUE(has_rule(lint_file(path, "int r = rand();\n"), "rng")) << path;
+  }
+}
+
+TEST(DblintRng, UnrestrictedDirsAndSecureRngPass) {
+  // Simulation/workload directories may use deterministic randomness.
+  EXPECT_FALSE(has_rule(lint_file("src/net/channel.cpp", "std::mt19937_64 rng_(s);\n"), "rng"));
+  EXPECT_FALSE(has_rule(lint_file("src/workload/loadgen.cpp", "DetRng rng(7);\n"), "rng"));
+  EXPECT_FALSE(has_rule(lint_file("src/crypto/x.cpp", "SecureRng rng;\n"), "rng"));
+}
+
+TEST(DblintRng, AllowEscapeSuppresses) {
+  const std::string escaped =
+      "DetRng rng(read_be64(seed));  // dblint:allow(rng): PRF-seeded permutation\n";
+  EXPECT_FALSE(has_rule(lint_file("src/ppe/x.cpp", escaped), "rng"));
+}
+
+TEST(DblintRng, CommentMentionsDoNotFire) {
+  EXPECT_FALSE(has_rule(lint_file("src/crypto/x.cpp", "// never use rand() here\n"), "rng"));
+  EXPECT_FALSE(
+      has_rule(lint_file("src/crypto/x.cpp", "const char* s = \"mt19937\";\n"), "rng"));
+}
+
+// --- R3: expose ------------------------------------------------------------
+
+TEST(DblintExpose, FlagsOutsideKernel) {
+  const std::string bad = "Bytes raw(key.expose_secret().begin(), key.expose_secret().end());\n";
+  EXPECT_TRUE(has_rule(lint_file("src/core/gateway.cpp", bad), "expose"));
+  EXPECT_TRUE(has_rule(lint_file("src/workload/scenarios.cpp", bad), "expose"));
+  EXPECT_TRUE(has_rule(lint_file("tests/gateway_test.cpp", bad), "expose"));
+  // Headers are not kernel files even inside crypto dirs: unwrapping
+  // belongs in translation units.
+  EXPECT_TRUE(has_rule(lint_file("src/ppe/det.hpp", bad), "expose"));
+}
+
+TEST(DblintExpose, KernelAllowlistPasses) {
+  const std::string unwrap = "return prf(key.expose_secret(), input);\n";
+  for (const char* path :
+       {"src/crypto/prf.cpp", "src/crypto/aes.cpp", "src/kms/key_manager.cpp",
+        "src/ppe/ope.cpp", "src/sse/mitra.cpp", "src/phe/paillier.cpp",
+        "src/onion/onion.cpp", "src/common/secret.cpp"}) {
+    EXPECT_FALSE(has_rule(lint_file(path, unwrap), "expose")) << path;
+  }
+}
+
+TEST(DblintExpose, AllowEscapeSuppresses) {
+  const std::string escaped =
+      "auto v = key.expose_secret();  // dblint:allow(expose): reviewed disclosure\n";
+  EXPECT_FALSE(has_rule(lint_file("src/core/gateway.cpp", escaped), "expose"));
+}
+
+// --- R4: log-secret --------------------------------------------------------
+
+TEST(DblintLogSecret, FlagsSecretsInLogStatements) {
+  EXPECT_TRUE(has_rule(
+      lint_file("src/core/x.cpp", "DB_LOG_INFO << \"key: \" << master_key;\n"), "log-secret"));
+  EXPECT_TRUE(has_rule(
+      lint_file("src/core/x.cpp", "log_line(LogLevel::kDebug, to_hex(prk));\n"), "log-secret"));
+  // Multi-line statements are scanned to the terminating ';'.
+  const std::string multiline =
+      "DB_LOG_WARN << \"rotating scope \" << scope\n"
+      "            << \" old=\" << old_secret;\n";
+  const auto diags = lint_file("src/core/x.cpp", multiline);
+  EXPECT_TRUE(has_rule(diags, "log-secret"));
+  EXPECT_EQ(line_of(diags, "log-secret"), 1);  // reported at the DB_LOG line
+  EXPECT_TRUE(has_rule(
+      lint_file("src/core/x.cpp", "DB_LOG_DEBUG << k.expose_secret().size();\n"),
+      "log-secret"));
+}
+
+TEST(DblintLogSecret, BenignLogsPass) {
+  EXPECT_FALSE(has_rule(
+      lint_file("src/core/x.cpp",
+                "DB_LOG_INFO << \"policy: \" << s.name() << \".\" << field;\n"),
+      "log-secret"));
+  EXPECT_FALSE(has_rule(
+      lint_file("src/core/x.cpp", "DB_LOG_DEBUG << \"keyword \" << keyword;\n"), "log-secret"));
+}
+
+TEST(DblintLogSecret, AllowEscapeSuppresses) {
+  const std::string escaped =
+      "DB_LOG_DEBUG << fingerprint_of(key);  // dblint:allow(log-secret): hashed\n";
+  EXPECT_FALSE(has_rule(lint_file("src/core/x.cpp", escaped), "log-secret"));
+}
+
+// --- R5: layering ----------------------------------------------------------
+
+std::vector<FileInput> with_common_header(FileInput f) {
+  return {std::move(f), {"src/common/bytes.hpp", "#pragma once\n"}};
+}
+
+TEST(DblintLayering, CommonMustNotIncludeCore) {
+  const auto diags = lint_include_graph(
+      with_common_header({"src/common/util.hpp", "#include \"core/gateway.hpp\"\n"}));
+  ASSERT_TRUE(has_rule(diags, "layering"));
+  EXPECT_EQ(line_of(diags, "layering"), 1);
+}
+
+TEST(DblintLayering, LowerLayersMustNotReachUp) {
+  EXPECT_TRUE(has_rule(
+      lint_include_graph({{"src/crypto/aes.cpp", "#include \"kms/key_manager.hpp\"\n"}}),
+      "layering"));
+  EXPECT_TRUE(has_rule(
+      lint_include_graph({{"src/sse/mitra.cpp", "#include \"core/policy.hpp\"\n"}}),
+      "layering"));
+}
+
+TEST(DblintLayering, TacticsMustUseSchemeSurfacesNotCrypto) {
+  const auto diags = lint_include_graph(
+      {{"src/core/tactics/det_tactic.cpp", "#include \"crypto/gcm.hpp\"\n"}});
+  ASSERT_TRUE(has_rule(diags, "layering"));
+  // Non-tactics core code MAY include crypto (e.g. the exec runtime).
+  EXPECT_FALSE(has_rule(
+      lint_include_graph({{"src/core/exec/runtime.hpp", "#include \"crypto/gcm.hpp\"\n"}}),
+      "layering"));
+}
+
+TEST(DblintLayering, DownwardIncludesPass) {
+  EXPECT_FALSE(has_rule(
+      lint_include_graph({{"src/core/gateway.cpp",
+                           "#include \"common/bytes.hpp\"\n#include \"sse/mitra.hpp\"\n"}}),
+      "layering"));
+  EXPECT_FALSE(has_rule(
+      lint_include_graph({{"src/sse/mitra.cpp", "#include \"crypto/prf.hpp\"\n"}}),
+      "layering"));
+}
+
+TEST(DblintLayering, DetectsIncludeCycles) {
+  const auto diags = lint_include_graph({
+      {"src/sse/a.hpp", "#include \"sse/b.hpp\"\n"},
+      {"src/sse/b.hpp", "#include \"sse/a.hpp\"\n"},
+  });
+  ASSERT_TRUE(has_rule(diags, "layering"));
+  bool mentions_cycle = false;
+  for (const auto& d : diags) {
+    if (d.message.find("cycle") != std::string::npos) mentions_cycle = true;
+  }
+  EXPECT_TRUE(mentions_cycle);
+}
+
+TEST(DblintLayering, AllowEscapeSuppresses) {
+  const auto diags = lint_include_graph(
+      {{"src/common/util.hpp",
+        "#include \"core/gateway.hpp\"  // dblint:allow(layering): transitional\n"}});
+  EXPECT_FALSE(has_rule(diags, "layering"));
+}
+
+// --- Formatting and the real tree ------------------------------------------
+
+TEST(DblintFormat, FileLineRuleMessage) {
+  EXPECT_EQ(format({"src/a.cpp", 7, "rng", "bad"}), "src/a.cpp:7: [rng] bad");
+}
+
+#ifdef DBLINT_REPO_ROOT
+// The acceptance gate: the shipped tree must lint clean. Any new finding
+// needs a fix or a reviewed `dblint:allow` escape.
+TEST(DblintTree, RepositoryIsClean) {
+  const auto diags = lint_tree(DBLINT_REPO_ROOT);
+  for (const auto& d : diags) ADD_FAILURE() << format(d);
+  EXPECT_TRUE(diags.empty());
+}
+#endif
+
+}  // namespace
+}  // namespace dblint

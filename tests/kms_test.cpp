@@ -1,4 +1,7 @@
 // Key management tests: derivation stability, scoping, rotation.
+//
+// derive() returns SecretBytes, which deliberately has no operator==;
+// every key comparison here goes through the constant-time ct_equal.
 #include <gtest/gtest.h>
 
 #include "common/status.hpp"
@@ -9,41 +12,47 @@ namespace {
 
 TEST(KeyManagerTest, DerivationIsStable) {
   KeyManager km(Bytes(32, 1));
-  EXPECT_EQ(km.derive("det/obs/status"), km.derive("det/obs/status"));
+  EXPECT_TRUE(ct_equal(km.derive("det/obs/status"), km.derive("det/obs/status")));
   EXPECT_EQ(km.derive("a", 16).size(), 16u);
   EXPECT_EQ(km.derive("a", 64).size(), 64u);
 }
 
 TEST(KeyManagerTest, ScopesAreIndependent) {
   KeyManager km(Bytes(32, 1));
-  EXPECT_NE(km.derive("det/obs/status"), km.derive("det/obs/code"));
-  EXPECT_NE(km.derive("det/obs/status"), km.derive("mitra/obs/status"));
+  EXPECT_FALSE(ct_equal(km.derive("det/obs/status"), km.derive("det/obs/code")));
+  EXPECT_FALSE(ct_equal(km.derive("det/obs/status"), km.derive("mitra/obs/status")));
 }
 
 TEST(KeyManagerTest, SameMasterSameKeys) {
   KeyManager a(Bytes(32, 7)), b(Bytes(32, 7));
-  EXPECT_EQ(a.derive("x"), b.derive("x"));
+  EXPECT_TRUE(ct_equal(a.derive("x"), b.derive("x")));
   KeyManager c(Bytes(32, 8));
-  EXPECT_NE(a.derive("x"), c.derive("x"));
+  EXPECT_FALSE(ct_equal(a.derive("x"), c.derive("x")));
 }
 
 TEST(KeyManagerTest, RandomMastersDiffer) {
   KeyManager a, b;
-  EXPECT_NE(a.derive("x"), b.derive("x"));
+  EXPECT_FALSE(ct_equal(a.derive("x"), b.derive("x")));
+}
+
+TEST(KeyManagerTest, SecretMasterConstructor) {
+  KeyManager a(SecretBytes::from_view(Bytes(32, 7)));
+  KeyManager b(Bytes(32, 7));
+  EXPECT_TRUE(ct_equal(a.derive("x"), b.derive("x")));
 }
 
 TEST(KeyManagerTest, RotationChangesKeys) {
   KeyManager km(Bytes(32, 2));
-  const Bytes before = km.derive("scope");
+  const SecretBytes before = km.derive("scope");
   EXPECT_EQ(km.epoch("scope"), 0u);
   EXPECT_EQ(km.rotate("scope"), 1u);
-  const Bytes after = km.derive("scope");
-  EXPECT_NE(before, after);
+  const SecretBytes after = km.derive("scope");
+  EXPECT_FALSE(ct_equal(before, after));
   EXPECT_EQ(km.epoch("scope"), 1u);
   // Other scopes unaffected.
-  const Bytes other = km.derive("other");
+  const SecretBytes other = km.derive("other");
   km.rotate("scope");
-  EXPECT_EQ(km.derive("other"), other);
+  EXPECT_TRUE(ct_equal(km.derive("other"), other));
 }
 
 TEST(KeyManagerTest, RejectsWeakMaster) {

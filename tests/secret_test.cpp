@@ -1,0 +1,130 @@
+// SecretBytes taint-type tests: zeroize-on-deallocate (observed through the
+// wipe hook), move semantics, redacted formatting, constant-time equality.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/secret.hpp"
+
+namespace datablinder {
+namespace {
+
+// The wipe hook fires after secure_wipe and before the buffer returns to
+// the heap; recording what it saw lets us assert zeroization without ever
+// touching freed memory.
+struct WipeRecord {
+  std::size_t size = 0;
+  bool all_zero = true;
+};
+std::vector<WipeRecord>* g_wipes = nullptr;
+
+void record_wipe(const std::uint8_t* data, std::size_t size) {
+  if (!g_wipes) return;
+  WipeRecord rec;
+  rec.size = size;
+  for (std::size_t i = 0; i < size; ++i) {
+    if (data[i] != 0) rec.all_zero = false;
+  }
+  g_wipes->push_back(rec);
+}
+
+class SecretBytesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_wipes = &wipes_;
+    secret_detail::set_wipe_hook(&record_wipe);
+  }
+  void TearDown() override {
+    secret_detail::set_wipe_hook(nullptr);
+    g_wipes = nullptr;
+  }
+  std::vector<WipeRecord> wipes_;
+};
+
+TEST_F(SecretBytesTest, WipesOnDestruction) {
+  {
+    SecretBytes s(Bytes(32, 0xAB));
+    ASSERT_EQ(s.size(), 32u);
+  }
+  // At least one wipe of a >=32-byte region, and every wiped region was
+  // actually zero when the hook saw it.
+  bool saw_buffer = false;
+  for (const auto& w : wipes_) {
+    EXPECT_TRUE(w.all_zero) << "wiped region of size " << w.size << " was not zeroed";
+    if (w.size >= 32) saw_buffer = true;
+  }
+  EXPECT_TRUE(saw_buffer);
+}
+
+TEST_F(SecretBytesTest, AdoptingConstructorWipesSource) {
+  Bytes plaintext(16, 0x5C);
+  SecretBytes s(std::move(plaintext));
+  EXPECT_EQ(s.size(), 16u);
+  // The moved-from/adopted source must hold no residue. (A moved-from
+  // vector either transferred its buffer or was explicitly wiped.)
+  for (const std::uint8_t b : plaintext) EXPECT_EQ(b, 0);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST_F(SecretBytesTest, MoveTransfersWithoutCopy) {
+  static_assert(!std::is_copy_constructible_v<SecretBytes>);
+  static_assert(!std::is_copy_assignable_v<SecretBytes>);
+  static_assert(std::is_nothrow_move_constructible_v<SecretBytes>);
+
+  SecretBytes a = SecretBytes::from_view(Bytes(24, 0x01));
+  SecretBytes b = std::move(a);
+  EXPECT_EQ(b.size(), 24u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+
+  // Move-assignment wipes the overwritten target's old buffer.
+  SecretBytes c = SecretBytes::from_view(Bytes(40, 0x02));
+  const std::size_t before = wipes_.size();
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 24u);
+  bool wiped_old_target = false;
+  for (std::size_t i = before; i < wipes_.size(); ++i) {
+    if (wipes_[i].size >= 40) wiped_old_target = true;
+  }
+  EXPECT_TRUE(wiped_old_target);
+}
+
+TEST_F(SecretBytesTest, StreamingRedacts) {
+  const SecretBytes s = SecretBytes::from_view(Bytes(32, 0xEE));
+  std::ostringstream os;
+  os << s;
+  EXPECT_EQ(os.str(), "[REDACTED:32]");
+  EXPECT_EQ(os.str().find("ee"), std::string::npos);
+}
+
+TEST_F(SecretBytesTest, ConstantTimeEquality) {
+  const SecretBytes a = SecretBytes::from_view(Bytes(32, 0x11));
+  const SecretBytes b = SecretBytes::from_view(Bytes(32, 0x11));
+  const SecretBytes c = SecretBytes::from_view(Bytes(32, 0x22));
+  const SecretBytes shorter = SecretBytes::from_view(Bytes(16, 0x11));
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, shorter));
+  EXPECT_TRUE(ct_equal(SecretBytes{}, SecretBytes{}));
+}
+
+TEST_F(SecretBytesTest, CloneIsDeliberateAndIndependent) {
+  SecretBytes a = SecretBytes::from_view(Bytes(32, 0x33));
+  const SecretBytes copy = a.clone();
+  EXPECT_TRUE(ct_equal(a, copy));
+  // Destroying the original leaves the clone intact.
+  a = SecretBytes{};
+  EXPECT_EQ(copy.size(), 32u);
+}
+
+TEST_F(SecretBytesTest, ExposeSecretReturnsView) {
+  const Bytes raw = {1, 2, 3, 4};
+  const SecretBytes s = SecretBytes::from_view(raw);
+  const BytesView v = s.expose_secret();
+  ASSERT_EQ(v.size(), raw.size());
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), raw.begin()));
+}
+
+}  // namespace
+}  // namespace datablinder

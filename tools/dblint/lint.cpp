@@ -1,0 +1,605 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace dblint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small text utilities
+// ---------------------------------------------------------------------------
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Replaces comments, string literals and char literals with spaces so the
+/// token rules never fire on prose. Newlines survive, so line numbers hold.
+std::string strip_comments_and_strings(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = (i + 1 < out.size()) ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && next != '\0') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && next != '\0') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Allow-escape markers: `// dblint:allow(<rule>)` suppresses findings for
+// <rule> on its own line and on the line immediately below (so a marker can
+// sit on a short line of its own above the flagged statement).
+// ---------------------------------------------------------------------------
+
+std::vector<std::set<std::string>> collect_allows(const std::vector<std::string>& raw_lines) {
+  std::vector<std::set<std::string>> allows(raw_lines.size());
+  const std::string marker = "dblint:allow(";
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& line = raw_lines[i];
+    std::size_t pos = 0;
+    while ((pos = line.find(marker, pos)) != std::string::npos) {
+      const std::size_t start = pos + marker.size();
+      const std::size_t close = line.find(')', start);
+      if (close == std::string::npos) break;
+      const std::string rule = line.substr(start, close - start);
+      allows[i].insert(rule);
+      if (i + 1 < raw_lines.size()) allows[i + 1].insert(rule);
+      pos = close;
+    }
+  }
+  return allows;
+}
+
+bool allowed(const std::vector<std::set<std::string>>& allows, std::size_t line_index,
+             const std::string& rule) {
+  return line_index < allows.size() && allows[line_index].count(rule) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer — a whole-file token stream with line numbers, just enough
+// structure for operand analysis across line breaks.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  bool is_ident = false;
+  std::size_t line_index = 0;  // 0-based
+};
+
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  std::size_t line = 0;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (is_ident_char(c)) {
+      std::size_t j = i;
+      while (j < text.size() && is_ident_char(text[j])) ++j;
+      tokens.push_back({text.substr(i, j - i), true, line});
+      i = j;
+      continue;
+    }
+    // Two-char operators we care about; everything else is single-char.
+    if (i + 1 < text.size()) {
+      const std::string two = text.substr(i, 2);
+      if (two == "==" || two == "!=" || two == "->" || two == "<=" || two == ">=" ||
+          two == "&&" || two == "||" || two == "<<" || two == ">>" || two == "::") {
+        tokens.push_back({two, false, line});
+        i += 2;
+        continue;
+      }
+    }
+    tokens.push_back({std::string(1, c), false, line});
+    ++i;
+  }
+  return tokens;
+}
+
+/// Last '_'-separated segment of an identifier, trailing underscores and
+/// digits stripped: "prf_key_" -> "key", "det_token" -> "token",
+/// "keyword" -> "keyword".
+std::string last_segment(const std::string& ident) {
+  std::string s = ident;
+  while (!s.empty() && (s.back() == '_' || std::isdigit(static_cast<unsigned char>(s.back())))) {
+    s.pop_back();
+  }
+  const std::size_t pos = s.rfind('_');
+  std::string seg = (pos == std::string::npos) ? s : s.substr(pos + 1);
+  std::transform(seg.begin(), seg.end(), seg.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return seg;
+}
+
+bool is_secret_buffer_name(const std::string& ident) {
+  static const std::set<std::string> kSegments = {"tag", "mac", "token", "key", "secret"};
+  return kSegments.count(last_segment(ident)) > 0;
+}
+
+bool is_secret_log_name(const std::string& ident) {
+  static const std::set<std::string> kSegments = {"tag", "mac",    "token", "key", "secret",
+                                                  "ikm", "master", "prk",   "okm"};
+  return kSegments.count(last_segment(ident)) > 0;
+}
+
+/// Effective name of the operand to the LEFT of tokens[op]: for a trailing
+/// call chain `det_token.size()` the method name (`size`) is what matters —
+/// `.size()` comparisons are public metadata, the buffer itself is not.
+std::string left_operand_name(const std::vector<Token>& tokens, std::size_t op) {
+  std::size_t i = op;
+  if (i == 0) return {};
+  --i;
+  if (tokens[i].text == ")") {
+    int depth = 1;
+    while (i > 0 && depth > 0) {
+      --i;
+      if (tokens[i].text == ")") ++depth;
+      if (tokens[i].text == "(") --depth;
+    }
+    if (i == 0) return {};
+    --i;  // token before '(' — the callee name
+  }
+  if (tokens[i].text == "]") {  // subscript: name[idx] — walk back to name
+    int depth = 1;
+    while (i > 0 && depth > 0) {
+      --i;
+      if (tokens[i].text == "]") ++depth;
+      if (tokens[i].text == "[") --depth;
+    }
+    if (i == 0) return {};
+    --i;
+  }
+  return tokens[i].is_ident ? tokens[i].text : std::string{};
+}
+
+/// Effective name of the operand to the RIGHT of tokens[op]: follows the
+/// member chain `det_token.size()` forward and returns the final name.
+std::string right_operand_name(const std::vector<Token>& tokens, std::size_t op) {
+  std::size_t i = op + 1;
+  while (i < tokens.size() && (tokens[i].text == "*" || tokens[i].text == "&" ||
+                               tokens[i].text == "!" || tokens[i].text == "::")) {
+    ++i;
+  }
+  if (i >= tokens.size() || !tokens[i].is_ident) return {};
+  std::string name = tokens[i].text;
+  while (i + 2 < tokens.size() && (tokens[i + 1].text == "." || tokens[i + 1].text == "->") &&
+         tokens[i + 2].is_ident) {
+    i += 2;
+    name = tokens[i].text;
+  }
+  return name;
+}
+
+// ---------------------------------------------------------------------------
+// Rule predicates keyed on path
+// ---------------------------------------------------------------------------
+
+bool in_rng_restricted_dir(const std::string& path) {
+  for (const char* dir : {"src/crypto/", "src/kms/", "src/ppe/", "src/sse/", "src/phe/"}) {
+    if (starts_with(path, dir)) return true;
+  }
+  return false;
+}
+
+/// The crypto kernel: the only files allowed to unwrap SecretBytes. The
+/// list is deliberately explicit — widening it is a review decision, not a
+/// drive-by.
+bool may_expose_secret(const std::string& path) {
+  if (path == "src/common/secret.hpp" || path == "src/common/secret.cpp") return true;
+  if (path == "src/kms/key_manager.cpp") return true;
+  if (path == "src/onion/onion.cpp") return true;
+  if (path == "tests/secret_test.cpp") return true;  // verifies the wrapper itself
+  for (const char* dir : {"src/crypto/", "src/ppe/", "src/sse/", "src/phe/"}) {
+    if (starts_with(path, dir) && ends_with(path, ".cpp")) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// R1–R3: token-stream rules
+// ---------------------------------------------------------------------------
+
+void check_ct_compare(const std::string& path, const std::vector<Token>& tokens,
+                      const std::vector<std::set<std::string>>& allows,
+                      std::vector<Diagnostic>* out) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.is_ident && t.text == "memcmp" && i + 1 < tokens.size() &&
+        tokens[i + 1].text == "(") {
+      if (!allowed(allows, t.line_index, "ct-compare")) {
+        out->push_back({path, static_cast<int>(t.line_index + 1), "ct-compare",
+                        "memcmp leaks timing; compare secret buffers with ct_equal"});
+      }
+      continue;
+    }
+    // std::equal / std::ranges::equal over a secret-named buffer.
+    if (t.is_ident && t.text == "equal" && i + 1 < tokens.size() &&
+        tokens[i + 1].text == "(") {
+      int depth = 0;
+      std::string secret_arg;
+      for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+        if (tokens[j].text == "(") ++depth;
+        if (tokens[j].text == ")" && --depth == 0) break;
+        if (tokens[j].is_ident && is_secret_buffer_name(tokens[j].text)) {
+          secret_arg = tokens[j].text;
+        }
+      }
+      if (!secret_arg.empty() && !allowed(allows, t.line_index, "ct-compare")) {
+        out->push_back({path, static_cast<int>(t.line_index + 1), "ct-compare",
+                        "std::equal over secret-named buffer '" + secret_arg +
+                            "'; use ct_equal"});
+      }
+      continue;
+    }
+    if (t.text != "==" && t.text != "!=") continue;
+    // `operator==` declarations are structure, not comparisons.
+    if (i > 0 && tokens[i - 1].is_ident && tokens[i - 1].text == "operator") continue;
+    const std::string lhs = left_operand_name(tokens, i);
+    const std::string rhs = right_operand_name(tokens, i);
+    if (is_secret_buffer_name(lhs) || is_secret_buffer_name(rhs)) {
+      if (!allowed(allows, t.line_index, "ct-compare")) {
+        const std::string& name = is_secret_buffer_name(lhs) ? lhs : rhs;
+        out->push_back({path, static_cast<int>(t.line_index + 1), "ct-compare",
+                        "variable-time comparison of secret-named buffer '" + name +
+                            "'; use ct_equal"});
+      }
+    }
+  }
+}
+
+void check_rng(const std::string& path, const std::vector<Token>& tokens,
+               const std::vector<std::set<std::string>>& allows, std::vector<Diagnostic>* out) {
+  if (!in_rng_restricted_dir(path)) return;
+  static const std::set<std::string> kBanned = {
+      "DetRng", "mt19937",       "mt19937_64",           "minstd_rand", "rand",
+      "srand",  "random_device", "default_random_engine"};
+  for (const Token& t : tokens) {
+    if (!t.is_ident || kBanned.count(t.text) == 0) continue;
+    if (allowed(allows, t.line_index, "rng")) continue;
+    out->push_back({path, static_cast<int>(t.line_index + 1), "rng",
+                    "'" + t.text + "' is not a CSPRNG; crypto-bearing directories must use "
+                    "SecureRng"});
+  }
+}
+
+void check_expose(const std::string& path, const std::vector<Token>& tokens,
+                  const std::vector<std::set<std::string>>& allows,
+                  std::vector<Diagnostic>* out) {
+  if (may_expose_secret(path)) return;
+  for (const Token& t : tokens) {
+    if (!t.is_ident || t.text != "expose_secret") continue;
+    if (allowed(allows, t.line_index, "expose")) continue;
+    out->push_back({path, static_cast<int>(t.line_index + 1), "expose",
+                    "expose_secret() outside the crypto kernel allowlist; pass SecretBytes "
+                    "through and let the kernel unwrap"});
+  }
+}
+
+/// R4: a logging statement (DB_LOG* stream or log_line call) must not
+/// mention secret material. The statement runs from the logging token to
+/// the terminating ';'.
+void check_log_secret(const std::string& path, const std::vector<Token>& tokens,
+                      const std::vector<std::set<std::string>>& allows,
+                      std::vector<Diagnostic>* out) {
+  // Skip the logging framework's own definitions.
+  if (path == "src/common/logging.hpp" || path == "src/common/logging.cpp") return;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (!t.is_ident || !(starts_with(t.text, "DB_LOG") || t.text == "log_line")) continue;
+    std::size_t end = i;
+    while (end < tokens.size() && tokens[end].text != ";") ++end;
+    for (std::size_t j = i + 1; j < end; ++j) {
+      if (!tokens[j].is_ident) continue;
+      if (starts_with(tokens[j].text, "DB_LOG") || tokens[j].text == "log_line") continue;
+      if (tokens[j].text == "expose_secret" || is_secret_log_name(tokens[j].text)) {
+        if (!allowed(allows, t.line_index, "log-secret")) {
+          out->push_back({path, static_cast<int>(t.line_index + 1), "log-secret",
+                          "logging statement mentions secret-pattern identifier '" +
+                              tokens[j].text + "'; log a redacted form instead"});
+        }
+        break;  // one finding per statement
+      }
+    }
+    i = end;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R5: include graph
+// ---------------------------------------------------------------------------
+
+/// Coarse architectural layers, lowest first. A file may include its own
+/// top-level directory or any strictly lower layer. Directories absent from
+/// the map (tests, tools) are exempt.
+const std::map<std::string, int>& layer_ranks() {
+  static const std::map<std::string, int> kRanks = {
+      {"common", 0}, {"crypto", 1}, {"bigint", 1}, {"doc", 1},  {"phe", 2},
+      {"ppe", 2},    {"sse", 2},    {"schema", 2}, {"store", 2}, {"net", 2},
+      {"kms", 2},    {"onion", 3},  {"fhir", 3},   {"core", 4},  {"workload", 5},
+  };
+  return kRanks;
+}
+
+std::string top_dir_under_src(const std::string& path) {
+  if (!starts_with(path, "src/")) return {};
+  const std::size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return {};
+  return path.substr(4, slash - 4);
+}
+
+struct IncludeEdge {
+  std::size_t line_index;
+  std::string target;  // as written, e.g. "crypto/gcm.hpp"
+};
+
+std::vector<IncludeEdge> extract_includes(const std::vector<std::string>& raw_lines) {
+  std::vector<IncludeEdge> edges;
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& line = raw_lines[i];
+    std::size_t pos = line.find_first_not_of(" \t");
+    if (pos == std::string::npos || line[pos] != '#') continue;
+    pos = line.find_first_not_of(" \t", pos + 1);
+    if (pos == std::string::npos || line.compare(pos, 7, "include") != 0) continue;
+    const std::size_t open = line.find('"', pos + 7);
+    if (open == std::string::npos) continue;
+    const std::size_t close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    edges.push_back({i, line.substr(open + 1, close - open - 1)});
+  }
+  return edges;
+}
+
+void report_cycles(const std::map<std::string, std::vector<std::string>>& graph,
+                   std::vector<Diagnostic>* out) {
+  // Iterative DFS with colors; reports each back-edge's cycle once.
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack_path;
+  std::set<std::string> reported;
+
+  struct Frame {
+    std::string node;
+    std::size_t next_child = 0;
+  };
+
+  for (const auto& [start, unused] : graph) {
+    (void)unused;
+    if (color[start] != 0) continue;
+    std::vector<Frame> stack;
+    stack.push_back({start});
+    color[start] = 1;
+    stack_path.push_back(start);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto it = graph.find(frame.node);
+      static const std::vector<std::string> kNone;
+      const std::vector<std::string>& children = (it != graph.end()) ? it->second : kNone;
+      if (frame.next_child < children.size()) {
+        const std::string child = children[frame.next_child++];
+        if (color[child] == 1) {
+          // Back edge: the cycle is the stack_path suffix from `child`.
+          auto at = std::find(stack_path.begin(), stack_path.end(), child);
+          std::ostringstream cycle;
+          for (auto p = at; p != stack_path.end(); ++p) cycle << *p << " -> ";
+          cycle << child;
+          if (reported.insert(cycle.str()).second) {
+            out->push_back({frame.node, 1, "layering", "include cycle: " + cycle.str()});
+          }
+        } else if (color[child] == 0) {
+          color[child] = 1;
+          stack_path.push_back(child);
+          stack.push_back({child});
+        }
+      } else {
+        color[frame.node] = 2;
+        stack_path.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+std::string format(const Diagnostic& d) {
+  std::ostringstream os;
+  os << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message;
+  return os.str();
+}
+
+std::vector<Diagnostic> lint_file(const std::string& path, const std::string& content) {
+  std::vector<Diagnostic> out;
+  const std::vector<std::string> raw_lines = split_lines(content);
+  const std::vector<std::set<std::string>> allows = collect_allows(raw_lines);
+  const std::vector<Token> tokens = tokenize(strip_comments_and_strings(content));
+
+  check_ct_compare(path, tokens, allows, &out);
+  check_rng(path, tokens, allows, &out);
+  check_expose(path, tokens, allows, &out);
+  check_log_secret(path, tokens, allows, &out);
+  return out;
+}
+
+std::vector<Diagnostic> lint_include_graph(const std::vector<FileInput>& files) {
+  std::vector<Diagnostic> out;
+  std::set<std::string> known_paths;
+  for (const FileInput& f : files) known_paths.insert(f.path);
+
+  std::map<std::string, std::vector<std::string>> graph;
+  for (const FileInput& f : files) {
+    const std::vector<std::string> raw_lines = split_lines(f.content);
+    const std::vector<std::set<std::string>> allows = collect_allows(raw_lines);
+    const std::string from_dir = top_dir_under_src(f.path);
+    const auto& ranks = layer_ranks();
+
+    for (const IncludeEdge& e : extract_includes(raw_lines)) {
+      const std::string resolved = "src/" + e.target;
+      if (known_paths.count(resolved)) graph[f.path].push_back(resolved);
+
+      const std::size_t slash = e.target.find('/');
+      if (slash == std::string::npos) continue;
+      const std::string to_dir = e.target.substr(0, slash);
+      const auto from_rank = ranks.find(from_dir);
+      const auto to_rank = ranks.find(to_dir);
+      if (from_rank == ranks.end() || to_rank == ranks.end()) continue;
+
+      if (starts_with(f.path, "src/core/tactics/") && to_dir == "crypto") {
+        if (!allowed(allows, e.line_index, "layering")) {
+          out.push_back({f.path, static_cast<int>(e.line_index + 1), "layering",
+                         "tactics must not include crypto/ directly; reach primitives via the "
+                         "core/spi.hpp surfaces (ppe/sse/phe schemes)"});
+        }
+        continue;
+      }
+      if (to_dir != from_dir && to_rank->second >= from_rank->second) {
+        if (!allowed(allows, e.line_index, "layering")) {
+          out.push_back({f.path, static_cast<int>(e.line_index + 1), "layering",
+                         "layering violation: src/" + from_dir + " (layer " +
+                             std::to_string(from_rank->second) + ") must not include src/" +
+                             to_dir + " (layer " + std::to_string(to_rank->second) + ")"});
+        }
+      }
+    }
+  }
+  report_cycles(graph, &out);
+  return out;
+}
+
+std::vector<Diagnostic> lint_tree(const std::string& repo_root) {
+  namespace fs = std::filesystem;
+  std::vector<Diagnostic> out;
+  std::vector<FileInput> src_files;
+
+  for (const char* top : {"src", "tests"}) {
+    const fs::path base = fs::path(repo_root) / top;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp") continue;
+      const std::string rel = fs::relative(entry.path(), repo_root).generic_string();
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      FileInput file{rel, ss.str()};
+      const std::vector<Diagnostic> diags = lint_file(file.path, file.content);
+      out.insert(out.end(), diags.begin(), diags.end());
+      if (starts_with(rel, "src/")) src_files.push_back(std::move(file));
+    }
+  }
+  const std::vector<Diagnostic> graph_diags = lint_include_graph(src_files);
+  out.insert(out.end(), graph_diags.begin(), graph_diags.end());
+
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+}  // namespace dblint

@@ -1,0 +1,62 @@
+// dblint — DataBlinder's in-repo secret-hygiene checker.
+//
+// A deliberately small, dependency-free lint pass (no libclang): a
+// token-level scan over src/ and tests/ plus an include-graph pass.
+// It exists to make the SecretBytes taint type (src/common/secret.hpp)
+// enforceable: the type system stops implicit conversions, dblint stops
+// the textual escape hatches (raw memcmp, logging a key, calling
+// expose_secret() outside the crypto kernel).
+//
+// Rules:
+//   ct-compare  (R1)  no memcmp/operator== on tag/key/token/mac buffers;
+//                     use ct_equal.
+//   rng         (R2)  DetRng/mt19937/rand() banned under src/crypto,
+//                     src/kms, src/ppe, src/sse, src/phe; SecureRng only.
+//   expose      (R3)  expose_secret() only in allowlisted crypto-kernel
+//                     files.
+//   log-secret  (R4)  no logging statement may receive SecretBytes
+//                     contents or key/secret-pattern identifiers.
+//   layering    (R5)  include layering: src/common must not include
+//                     src/core; core/tactics must not include crypto/
+//                     directly (reach it via the ppe/sse/phe surfaces);
+//                     no include cycles.
+//
+// Escape hatch: a finding on line N is suppressed when line N (or the
+// line immediately above) carries `// dblint:allow(<rule>): reason`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dblint {
+
+struct Diagnostic {
+  std::string file;  // repo-relative, '/'-separated
+  int line = 0;      // 1-based
+  std::string rule;  // e.g. "ct-compare"
+  std::string message;
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+/// "file:line: [rule] message" — the CI-greppable form.
+std::string format(const Diagnostic& d);
+
+struct FileInput {
+  std::string path;  // repo-relative, '/'-separated
+  std::string content;
+};
+
+/// Token-level rules (R1–R4) over one file. `path` decides which rules
+/// apply (restricted dirs, allowlists).
+std::vector<Diagnostic> lint_file(const std::string& path, const std::string& content);
+
+/// Include-graph rules (R5) over a set of files (normally everything
+/// under src/).
+std::vector<Diagnostic> lint_include_graph(const std::vector<FileInput>& files);
+
+/// Walks `repo_root`/src and `repo_root`/tests for .hpp/.cpp files and
+/// runs every rule. Diagnostics come back sorted by file then line.
+std::vector<Diagnostic> lint_tree(const std::string& repo_root);
+
+}  // namespace dblint

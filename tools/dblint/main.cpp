@@ -1,0 +1,20 @@
+// dblint driver: `dblint [repo_root]` scans src/ and tests/, prints
+// file:line diagnostics, and exits nonzero when anything fires — wire it
+// straight into CI.
+#include <cstdio>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  const char* root = (argc > 1) ? argv[1] : ".";
+  const auto diagnostics = dblint::lint_tree(root);
+  for (const auto& d : diagnostics) {
+    std::fprintf(stderr, "%s\n", dblint::format(d).c_str());
+  }
+  if (!diagnostics.empty()) {
+    std::fprintf(stderr, "dblint: %zu finding(s)\n", diagnostics.size());
+    return 1;
+  }
+  std::fprintf(stdout, "dblint: clean\n");
+  return 0;
+}
