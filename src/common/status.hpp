@@ -7,9 +7,11 @@
 // failures into protocol-level responses.
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace datablinder {
 
@@ -46,5 +48,101 @@ class Error : public std::runtime_error {
 
 /// Throws kInvalidArgument unless `cond` holds.
 void require(bool cond, const std::string& message);
+
+/// Value-typed operational outcome for the paths where an exception is the
+/// wrong tool: durability points, shutdown/cleanup, and bulk operations
+/// that must report "how far did we get" alongside "did it work".
+///
+/// `[[nodiscard]]` is the contract, not a hint: a call site that drops a
+/// Status compiles only as `(void)foo()` — and dblint's unchecked-status
+/// pass flags even that unless the discard carries a reason. The
+/// `-DDATABLINDER_WERROR=ON` CI build turns the compiler half of this into
+/// a hard error tree-wide.
+class [[nodiscard]] Status {
+ public:
+  /// Success.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+
+  static Status Failure(ErrorCode code, std::string message) {
+    Status s;
+    s.failed_ = true;
+    s.code_ = code;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  /// Captures a caught Error without re-throwing (exception -> value edge).
+  static Status Capture(const Error& e) { return Failure(e.code(), e.what()); }
+
+  bool ok() const noexcept { return !failed_; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Only meaningful when !ok(); an OK status reports kInternal/"".
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// Value -> exception edge: no-op on OK, throws Error(code, message)
+  /// otherwise. The sanctioned way to re-enter exception-based callers.
+  void throw_if_error() const {
+    if (failed_) throw_error(code_, message_);
+  }
+
+  std::string to_string() const {
+    return failed_ ? std::string(error_code_name(code_)) + ": " + message_
+                   : std::string("ok");
+  }
+
+ private:
+  bool failed_ = false;
+  ErrorCode code_ = ErrorCode::kInternal;
+  std::string message_;
+};
+
+/// A value or a failure, never both. Same discard discipline as Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+
+  static Result Failure(ErrorCode code, std::string message) {
+    return Result(Status::Failure(code, std::move(message)));
+  }
+
+  /// Adopts a failed Status (asserted: adopting an OK status is a bug).
+  explicit Result(Status failure) : status_(std::move(failure)) {
+    if (status_.ok()) {
+      throw_error(ErrorCode::kInternal, "Result: adopted an OK status without a value");
+    }
+  }
+
+  bool ok() const noexcept { return status_.ok(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const Status& status() const noexcept { return status_; }
+
+  /// Throws the carried failure when !ok().
+  const T& value() const& {
+    status_.throw_if_error();
+    return *value_;
+  }
+  T& value() & {
+    status_.throw_if_error();
+    return *value_;
+  }
+  T&& value() && {
+    status_.throw_if_error();
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;            // OK iff value_ holds
+  std::optional<T> value_;
+};
 
 }  // namespace datablinder

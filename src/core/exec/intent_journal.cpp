@@ -98,14 +98,18 @@ std::string IntentJournal::begin(const std::string& collection,
   store_.hset(kPendingKey, token, encode(collection, ids, rpcs));
   // Durability point: the intent must hit the AOF before the first cloud
   // mutation ships, or a crash could leave partial cloud state with no
-  // record to resume from.
-  store_.sync();
+  // record to resume from. A failed flush therefore aborts the insert
+  // before anything reaches the cloud.
+  store_.sync().throw_if_error();
   return token;
 }
 
 void IntentJournal::complete(const std::string& token) {
   store_.hdel(kPendingKey, token);
-  store_.sync();
+  // Not a durability point: if the completion record is lost, the intent
+  // merely replays on recovery, and replay is byte-identical + idempotent.
+  // dblint:allow(unchecked-status): completion loss only re-runs an idempotent replay
+  (void)store_.sync();
 }
 
 std::vector<IntentJournal::Intent> IntentJournal::pending() const {

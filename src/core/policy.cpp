@@ -15,6 +15,18 @@ using schema::ProtectionClass;
 namespace {
 int class_value(ProtectionClass c) { return static_cast<int>(c); }
 
+// A candidate is admissible under `bound` when its class does not exceed
+// the bound AND every operation it declares stays within the per-operation
+// leakage ceiling for that bound — the same table (schema/leakage.hpp)
+// registration and dblint's leakage-conformance pass enforce.
+bool admissible_within(const TacticDescriptor& d, ProtectionClass bound) {
+  if (class_value(d.protection_class) > class_value(bound)) return false;
+  for (const auto& [op, profile] : d.operations) {
+    if (!schema::leakage_within(bound, op, profile.leakage)) return false;
+  }
+  return true;
+}
+
 void add_unique(std::vector<std::string>& v, const std::string& name) {
   if (!name.empty() && std::find(v.begin(), v.end(), name) == v.end()) {
     v.push_back(name);
@@ -46,8 +58,8 @@ std::string PolicyEngine::best_within(const std::vector<std::string>& candidates
   int best_pref = 0;
   for (const auto& name : candidates) {
     const auto& d = registry_.descriptor(name);
+    if (!admissible_within(d, bound)) continue;  // too leaky for this field
     const int cv = class_value(d.protection_class);
-    if (cv > class_value(bound)) continue;  // too leaky for this field
     if (cv > best_class || (cv == best_class && d.preference > best_pref)) {
       best = name;
       best_class = cv;

@@ -4,12 +4,28 @@
 
 namespace datablinder::core {
 
+Status validate_descriptor_leakage(const TacticDescriptor& descriptor) {
+  for (const auto& [op, profile] : descriptor.operations) {
+    if (!schema::leakage_within(descriptor.protection_class, op, profile.leakage)) {
+      return Status::Failure(
+          ErrorCode::kPolicyViolation,
+          "tactic '" + descriptor.name + "': operation " + to_string(op) +
+              " declares leakage " + to_string(profile.leakage) +
+              " above the " + schema::to_string(descriptor.protection_class) +
+              " ceiling " +
+              to_string(schema::leakage_ceiling(descriptor.protection_class, op)));
+    }
+  }
+  return Status::OK();
+}
+
 void TacticRegistry::register_field_tactic(TacticDescriptor descriptor,
                                            FieldFactory factory) {
   const std::string name = descriptor.name;
   if (entries_.count(name)) {
     throw_error(ErrorCode::kAlreadyExists, "registry: duplicate tactic " + name);
   }
+  validate_descriptor_leakage(descriptor).throw_if_error();
   entries_.emplace(name, Entry{std::move(descriptor), std::move(factory), nullptr});
   order_.push_back(name);
 }
@@ -20,6 +36,7 @@ void TacticRegistry::register_boolean_tactic(TacticDescriptor descriptor,
   if (entries_.count(name)) {
     throw_error(ErrorCode::kAlreadyExists, "registry: duplicate tactic " + name);
   }
+  validate_descriptor_leakage(descriptor).throw_if_error();
   entries_.emplace(name, Entry{std::move(descriptor), nullptr, std::move(factory)});
   order_.push_back(name);
 }

@@ -17,6 +17,15 @@
 
 namespace datablinder::core {
 
+/// Checks a descriptor's declared per-operation leakage against the
+/// ceiling table for its registered protection class (the single
+/// definition site in schema/leakage.hpp). Returns a kPolicyViolation
+/// failure naming the first offending operation. Registration throws on
+/// failure — the runtime twin of dblint's leakage-conformance pass, so the
+/// lint and the gateway can never disagree about which declarations are
+/// admissible.
+Status validate_descriptor_leakage(const TacticDescriptor& descriptor);
+
 class TacticRegistry {
  public:
   using FieldFactory = std::function<std::unique_ptr<FieldTactic>(const GatewayContext&)>;

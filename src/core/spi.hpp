@@ -31,36 +31,12 @@ namespace datablinder::core {
 
 using sse::DocId;
 
-/// Leakage taxonomy (Fuller et al., SoK 2017 — §3.1 of the paper).
-/// kStructure is the most secure; kOrder leaks the most.
-enum class LeakageLevel : std::uint8_t {
-  kStructure = 1,
-  kIdentifiers = 2,
-  kPredicates = 3,
-  kEqualities = 4,
-  kOrder = 5,
-};
-
-std::string to_string(LeakageLevel level);
-
-/// The high-level tactic operations (§3.1: init / update / query families).
-enum class TacticOperation : std::uint8_t {
-  kInit,
-  kInsert,
-  kUpdate,
-  kDelete,
-  kRead,
-  kEqualitySearch,
-  kBooleanSearch,
-  kRangeQuery,
-  kSum,
-  kAverage,
-  kCount,
-  kMin,
-  kMax,
-};
-
-std::string to_string(TacticOperation op);
+/// The leakage lattice (LeakageLevel, TacticOperation and the per-class
+/// ceiling table) lives in schema/leakage.hpp — the single definition site
+/// shared with the policy engine and dblint's leakage-conformance pass.
+using schema::LeakageLevel;
+using schema::TacticOperation;
+using schema::to_string;  // to_string(LeakageLevel) / to_string(TacticOperation)
 
 /// The concrete service interfaces of Table 1. Tactics advertise which they
 /// implement on each side; the Table 2 bench prints these counts.

@@ -5,36 +5,6 @@
 
 namespace datablinder::core {
 
-std::string to_string(LeakageLevel level) {
-  switch (level) {
-    case LeakageLevel::kStructure: return "Structure";
-    case LeakageLevel::kIdentifiers: return "Identifiers";
-    case LeakageLevel::kPredicates: return "Predicates";
-    case LeakageLevel::kEqualities: return "Equalities";
-    case LeakageLevel::kOrder: return "Order";
-  }
-  return "?";
-}
-
-std::string to_string(TacticOperation op) {
-  switch (op) {
-    case TacticOperation::kInit: return "init";
-    case TacticOperation::kInsert: return "insert";
-    case TacticOperation::kUpdate: return "update";
-    case TacticOperation::kDelete: return "delete";
-    case TacticOperation::kRead: return "read";
-    case TacticOperation::kEqualitySearch: return "equality_search";
-    case TacticOperation::kBooleanSearch: return "boolean_search";
-    case TacticOperation::kRangeQuery: return "range_query";
-    case TacticOperation::kSum: return "sum";
-    case TacticOperation::kAverage: return "average";
-    case TacticOperation::kCount: return "count";
-    case TacticOperation::kMin: return "min";
-    case TacticOperation::kMax: return "max";
-  }
-  return "?";
-}
-
 std::string to_string(SpiInterface spi) {
   switch (spi) {
     case SpiInterface::kInsertion: return "Insertion";

@@ -1,0 +1,206 @@
+// The leakage lattice — single source of truth.
+//
+// The paper's safety argument (§3.1/§3.2) is that the middleware, not the
+// application, guarantees each annotated field's protection class is
+// honored by the selected tactic's leakage profile, using the taxonomy of
+// Fuller et al. (SoK: Cryptographically Protected Database Search, IEEE
+// S&P 2017): structure < identifiers < predicates < equalities < order.
+//
+// This header is that invariant's ONE definition site. It is deliberately
+// self-contained (no project includes) because it has two consumers that
+// must never disagree:
+//
+//   1. the runtime policy layer (src/core/policy.cpp and the registration
+//      check in src/core/registry.cpp), which decides which tactic is
+//      admissible for a field's protection class, and
+//   2. dblint's leakage-conformance pass (tools/dblint/), which parses the
+//      per-operation {TacticOperation, {LeakageLevel, ...}} tables out of
+//      every src/core/tactics/*_tactic.cpp and machine-checks them against
+//      the same ceiling — at lint time, before the code ever runs.
+//
+// Everything here is constexpr so both consumers evaluate the identical
+// table and `doc/LEAKAGE.md` can be generated from it (and drift-gated).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace datablinder::schema {
+
+/// Protection classes, mirroring the leakage taxonomy of Fuller et al.
+/// (SoK, IEEE S&P 2017) used by the paper: Class1 leaks only structure,
+/// Class5 leaks order. A field's effective protection is the weakest class
+/// among the tactics applied to it (weakest-link rule, §3.2).
+enum class ProtectionClass : std::uint8_t {
+  kClass1 = 1,  // structure       (strongest)
+  kClass2 = 2,  // identifiers
+  kClass3 = 3,  // predicates
+  kClass4 = 4,  // equalities
+  kClass5 = 5,  // order           (weakest)
+};
+
+/// Leakage taxonomy (Fuller et al., SoK 2017 — §3.1 of the paper).
+/// kStructure is the most secure; kOrder leaks the most. The numeric
+/// values line up with ProtectionClass on purpose: class N tolerates at
+/// most leakage rung N from query operations.
+enum class LeakageLevel : std::uint8_t {
+  kStructure = 1,
+  kIdentifiers = 2,
+  kPredicates = 3,
+  kEqualities = 4,
+  kOrder = 5,
+};
+
+/// The high-level tactic operations (§3.1: init / update / query families).
+enum class TacticOperation : std::uint8_t {
+  kInit,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kRead,
+  kEqualitySearch,
+  kBooleanSearch,
+  kRangeQuery,
+  kSum,
+  kAverage,
+  kCount,
+  kMin,
+  kMax,
+};
+
+inline constexpr int kTacticOperationCount = 13;
+
+/// Update family: operations that mutate the protected index.
+constexpr bool is_update_operation(TacticOperation op) {
+  return op == TacticOperation::kInsert || op == TacticOperation::kUpdate ||
+         op == TacticOperation::kDelete;
+}
+
+/// Query family: operations that read through the protected index
+/// (searches, retrieval, aggregates).
+constexpr bool is_query_operation(TacticOperation op) {
+  return !is_update_operation(op) && op != TacticOperation::kInit;
+}
+
+/// The ceiling table: the maximum LeakageLevel a tactic registered at
+/// protection class `c` may declare for operation `op`.
+///
+///  - kInit provisions keys and empty index structures; it may never
+///    reveal more than structure, for any class.
+///  - Query-family operations are bounded exactly by the class's rung:
+///    a Class2 (identifiers) tactic whose search leaks equalities is
+///    mis-registered, full stop.
+///  - Update-family operations track Bost's forward-privacy dimension,
+///    which the SoK treats as orthogonal to query leakage: Class1
+///    (semantically secure at rest) requires forward-private updates
+///    (structure only); Class5 structures necessarily position every
+///    write (order); every class in between tolerates at most
+///    update-pattern equalities — which is exactly what admits the
+///    paper's stateless Mitra variant (Class2 search leakage, equality
+///    of repeated keyword updates) without admitting a Class2 tactic
+///    whose *search* leaks equalities.
+constexpr LeakageLevel leakage_ceiling(ProtectionClass c, TacticOperation op) {
+  if (op == TacticOperation::kInit) return LeakageLevel::kStructure;
+  if (is_query_operation(op)) {
+    return static_cast<LeakageLevel>(static_cast<std::uint8_t>(c));
+  }
+  // Update family.
+  if (c == ProtectionClass::kClass1) return LeakageLevel::kStructure;
+  if (c == ProtectionClass::kClass5) return LeakageLevel::kOrder;
+  return LeakageLevel::kEqualities;
+}
+
+/// True when a declared per-operation leakage respects the ceiling for the
+/// given protection class. This is THE admissibility predicate: the
+/// registry enforces it at registration, the policy engine re-checks it
+/// against the field's *required* class at selection, and dblint enforces
+/// it over the parsed tactic tables.
+constexpr bool leakage_within(ProtectionClass c, TacticOperation op,
+                              LeakageLevel declared) {
+  return static_cast<std::uint8_t>(declared) <=
+         static_cast<std::uint8_t>(leakage_ceiling(c, op));
+}
+
+// --- constexpr names ---------------------------------------------------------
+// Linkage-free naming so dblint and the LEAKAGE.md generator (which do not
+// link the datablinder library) print the same labels as the runtime.
+
+constexpr const char* leakage_level_name(LeakageLevel level) {
+  switch (level) {
+    case LeakageLevel::kStructure: return "Structure";
+    case LeakageLevel::kIdentifiers: return "Identifiers";
+    case LeakageLevel::kPredicates: return "Predicates";
+    case LeakageLevel::kEqualities: return "Equalities";
+    case LeakageLevel::kOrder: return "Order";
+  }
+  return "?";
+}
+
+constexpr const char* protection_class_name(ProtectionClass c) {
+  switch (c) {
+    case ProtectionClass::kClass1: return "Class1";
+    case ProtectionClass::kClass2: return "Class2";
+    case ProtectionClass::kClass3: return "Class3";
+    case ProtectionClass::kClass4: return "Class4";
+    case ProtectionClass::kClass5: return "Class5";
+  }
+  return "?";
+}
+
+constexpr const char* tactic_operation_name(TacticOperation op) {
+  switch (op) {
+    case TacticOperation::kInit: return "init";
+    case TacticOperation::kInsert: return "insert";
+    case TacticOperation::kUpdate: return "update";
+    case TacticOperation::kDelete: return "delete";
+    case TacticOperation::kRead: return "read";
+    case TacticOperation::kEqualitySearch: return "equality_search";
+    case TacticOperation::kBooleanSearch: return "boolean_search";
+    case TacticOperation::kRangeQuery: return "range_query";
+    case TacticOperation::kSum: return "sum";
+    case TacticOperation::kAverage: return "average";
+    case TacticOperation::kCount: return "count";
+    case TacticOperation::kMin: return "min";
+    case TacticOperation::kMax: return "max";
+  }
+  return "?";
+}
+
+/// The enumerator spelling used in tactic source tables ("kInsert", ...),
+/// which is what dblint's parser sees. Kept next to the enum so adding an
+/// operation cannot silently desynchronize the parser.
+constexpr const char* tactic_operation_token(TacticOperation op) {
+  switch (op) {
+    case TacticOperation::kInit: return "kInit";
+    case TacticOperation::kInsert: return "kInsert";
+    case TacticOperation::kUpdate: return "kUpdate";
+    case TacticOperation::kDelete: return "kDelete";
+    case TacticOperation::kRead: return "kRead";
+    case TacticOperation::kEqualitySearch: return "kEqualitySearch";
+    case TacticOperation::kBooleanSearch: return "kBooleanSearch";
+    case TacticOperation::kRangeQuery: return "kRangeQuery";
+    case TacticOperation::kSum: return "kSum";
+    case TacticOperation::kAverage: return "kAverage";
+    case TacticOperation::kCount: return "kCount";
+    case TacticOperation::kMin: return "kMin";
+    case TacticOperation::kMax: return "kMax";
+  }
+  return "?";
+}
+
+constexpr const char* leakage_level_token(LeakageLevel level) {
+  switch (level) {
+    case LeakageLevel::kStructure: return "kStructure";
+    case LeakageLevel::kIdentifiers: return "kIdentifiers";
+    case LeakageLevel::kPredicates: return "kPredicates";
+    case LeakageLevel::kEqualities: return "kEqualities";
+    case LeakageLevel::kOrder: return "kOrder";
+  }
+  return "?";
+}
+
+// Canonical string forms (defined in schema.cpp; wrap the constexpr names).
+std::string to_string(LeakageLevel level);
+std::string to_string(TacticOperation op);
+
+}  // namespace datablinder::schema

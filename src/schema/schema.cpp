@@ -15,6 +15,10 @@ std::string to_string(ProtectionClass c) {
   return "C?";
 }
 
+std::string to_string(LeakageLevel level) { return leakage_level_name(level); }
+
+std::string to_string(TacticOperation op) { return tactic_operation_name(op); }
+
 std::string to_string(Operation op) {
   switch (op) {
     case Operation::kInsert: return "I";

@@ -16,20 +16,9 @@
 #include <vector>
 
 #include "doc/value.hpp"
+#include "schema/leakage.hpp"  // ProtectionClass + the leakage-ceiling table
 
 namespace datablinder::schema {
-
-/// Protection classes, mirroring the leakage taxonomy of Fuller et al.
-/// (SoK, IEEE S&P 2017) used by the paper: Class1 leaks only structure,
-/// Class5 leaks order. A field's effective protection is the weakest class
-/// among the tactics applied to it (weakest-link rule, §3.2).
-enum class ProtectionClass : std::uint8_t {
-  kClass1 = 1,  // structure       (strongest)
-  kClass2 = 2,  // identifiers
-  kClass3 = 3,  // predicates
-  kClass4 = 4,  // equalities
-  kClass5 = 5,  // order           (weakest)
-};
 
 std::string to_string(ProtectionClass c);
 

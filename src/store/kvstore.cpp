@@ -39,7 +39,12 @@ void KvStore::log_op(OpCode op, const std::vector<Bytes>& args) {
     append(rec, be32(static_cast<std::uint32_t>(a.size())));
     append(rec, a);
   }
-  std::fwrite(rec.data(), 1, rec.size(), aof_);
+  if (std::fwrite(rec.data(), 1, rec.size(), aof_) != rec.size()) {
+    // Semi-persistent writes are buffered and not individually checked;
+    // remember the short write so the next durability point (sync())
+    // reports it instead of silently losing the record.
+    aof_write_failed_ = true;
+  }
   // Semi-persistent mode: no fsync per op (matches the paper's Redis config).
 }
 
@@ -113,9 +118,16 @@ void KvStore::apply(OpCode op, const std::vector<Bytes>& args) {
   }
 }
 
-void KvStore::sync() {
+Status KvStore::sync() {
   std::lock_guard lock(mutex_);
-  if (aof_ != nullptr) std::fflush(aof_);
+  if (aof_ == nullptr) return Status::OK();  // in-memory store: nothing to land
+  if (std::fflush(aof_) != 0) aof_write_failed_ = true;
+  if (aof_write_failed_) {
+    return Status::Failure(ErrorCode::kUnavailable,
+                           "KvStore: AOF write/flush failed for " + aof_path_ +
+                               "; durability of buffered records is not assured");
+  }
+  return Status::OK();
 }
 
 void KvStore::set(const std::string& key, Bytes value) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/status.hpp"
 
 namespace datablinder::store {
 
@@ -74,9 +75,10 @@ class KvStore {
   /// Flushes buffered AOF records to the OS. The semi-persistent default
   /// buffers writes (matching the paper's Redis config); callers with a
   /// durability point — e.g. the insert intent journal, which must land
-  /// before the first cloud mutation — call this explicitly. No-op for
-  /// in-memory stores.
-  void sync();
+  /// before the first cloud mutation — call this explicitly. Trivially OK
+  /// for in-memory stores. A failed buffered write since the last sync is
+  /// reported here (sticky), so durability points cannot silently pass.
+  Status sync();
 
   /// Drops everything (and truncates the AOF).
   void flush_all();
@@ -97,6 +99,7 @@ class KvStore {
   std::string aof_path_;
   std::FILE* aof_ = nullptr;
   bool replaying_ = false;
+  bool aof_write_failed_ = false;  // sticky: a lost record leaves the AOF suspect
 };
 
 }  // namespace datablinder::store

@@ -1,4 +1,4 @@
-// dblint rule tests: every rule (R1–R5) must fire on a bad fixture, stay
+// dblint rule tests: every rule (R1–R9) must fire on a bad fixture, stay
 // quiet on the matching good fixture, honour `// dblint:allow(<rule>)`
 // escapes, and — via DBLINT_REPO_ROOT — report the real tree clean.
 #include <gtest/gtest.h>
@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "leakage_pass.hpp"
 #include "lint.hpp"
 
 namespace dblint {
@@ -230,7 +231,309 @@ TEST(DblintLayering, AllowEscapeSuppresses) {
   EXPECT_FALSE(has_rule(diags, "layering"));
 }
 
+// --- R6: unchecked-status --------------------------------------------------
+
+// The Status signature can come from any file in the indexed set, the way
+// src/common/status.hpp declares it for the real tree.
+const FileInput kStatusHeader{"src/store/s.hpp",
+                              "Status sync();\nResult<int> fetch();\n"};
+
+TEST(DblintUncheckedStatus, FlagsDiscardedStatementCall) {
+  const auto diags =
+      lint_indexed({kStatusHeader, {"src/store/s.cpp", "void f() {\n  sync();\n}\n"}});
+  ASSERT_TRUE(has_rule(diags, "unchecked-status"));
+  EXPECT_EQ(line_of(diags, "unchecked-status"), 2);
+}
+
+TEST(DblintUncheckedStatus, FlagsMemberChainAndBranchBodyDiscards) {
+  EXPECT_TRUE(has_rule(
+      lint_indexed({kStatusHeader,
+                    {"src/store/s.cpp", "void f() {\n  store_.sync();\n}\n"}}),
+      "unchecked-status"));
+  // `if (x) chain.f();` is still a discard.
+  EXPECT_TRUE(has_rule(
+      lint_indexed({kStatusHeader,
+                    {"src/store/s.cpp", "void f() {\n  if (dirty) sync();\n}\n"}}),
+      "unchecked-status"));
+  // Result<T> counts too.
+  EXPECT_TRUE(has_rule(
+      lint_indexed({kStatusHeader,
+                    {"src/store/s.cpp", "void f() {\n  fetch();\n}\n"}}),
+      "unchecked-status"));
+}
+
+TEST(DblintUncheckedStatus, ConsumedResultsPass) {
+  for (const char* body : {
+           "void f() {\n  Status s = sync();\n  (void)s;\n}\n",
+           "void f() {\n  sync().throw_if_error();\n}\n",
+           "bool f() {\n  return sync().ok();\n}\n",
+           "void f() {\n  if (!sync().ok()) retry();\n}\n",
+       }) {
+    EXPECT_FALSE(has_rule(lint_indexed({kStatusHeader, {"src/store/s.cpp", body}}),
+                          "unchecked-status"))
+        << body;
+  }
+  // Non-Status callees discard freely.
+  EXPECT_FALSE(has_rule(
+      lint_indexed({kStatusHeader, {"src/store/s.cpp", "void f() {\n  log();\n}\n"}}),
+      "unchecked-status"));
+}
+
+TEST(DblintUncheckedStatus, VoidCastAndAllowEscapeMarkDeliberateDiscards) {
+  EXPECT_FALSE(has_rule(
+      lint_indexed({kStatusHeader,
+                    {"src/store/s.cpp",
+                     "void f() {\n  // completion loss only replays\n  (void)sync();\n}\n"}}),
+      "unchecked-status"));
+  EXPECT_FALSE(has_rule(
+      lint_indexed(
+          {kStatusHeader,
+           {"src/store/s.cpp",
+            "void f() {\n  sync();  // dblint:allow(unchecked-status): fire-and-forget\n}\n"}}),
+      "unchecked-status"));
+}
+
+// --- R7: lock-discipline ---------------------------------------------------
+
+TEST(DblintLockDiscipline, FlagsRawLockAndUnlock) {
+  const auto diags = lint_indexed(
+      {{"src/store/a.cpp",
+        "void KvStore::f() {\n  mutex_.lock();\n  work();\n  mutex_.unlock();\n}\n"}});
+  ASSERT_TRUE(has_rule(diags, "lock-discipline"));
+  EXPECT_EQ(line_of(diags, "lock-discipline"), 2);
+  EXPECT_TRUE(has_rule(
+      lint_indexed({{"src/store/a.cpp", "void f() {\n  mu_->try_lock();\n}\n"}}),
+      "lock-discipline"));
+}
+
+TEST(DblintLockDiscipline, RaiiGuardsPass) {
+  EXPECT_FALSE(has_rule(
+      lint_indexed({{"src/store/a.cpp",
+                     "void KvStore::f() {\n  std::lock_guard<std::mutex> lock(mutex_);\n"
+                     "  work();\n}\n"}}),
+      "lock-discipline"));
+}
+
+TEST(DblintLockDiscipline, ReportsLockOrderCycle) {
+  const auto diags = lint_indexed(
+      {{"src/store/a.cpp",
+        "void Store::f() {\n"
+        "  std::lock_guard<std::mutex> g1(a_);\n"
+        "  std::lock_guard<std::mutex> g2(b_);\n"
+        "}\n"
+        "void Store::g() {\n"
+        "  std::lock_guard<std::mutex> g1(b_);\n"
+        "  std::lock_guard<std::mutex> g2(a_);\n"
+        "}\n"}});
+  ASSERT_TRUE(has_rule(diags, "lock-discipline"));
+  bool mentions_cycle = false;
+  for (const auto& d : diags) {
+    if (d.message.find("lock-order cycle") != std::string::npos) mentions_cycle = true;
+  }
+  EXPECT_TRUE(mentions_cycle);
+}
+
+TEST(DblintLockDiscipline, ConsistentOrderAndScopedScopesPass) {
+  // Same order everywhere: no cycle.
+  EXPECT_FALSE(has_rule(
+      lint_indexed({{"src/store/a.cpp",
+                     "void Store::f() {\n"
+                     "  std::lock_guard<std::mutex> g1(a_);\n"
+                     "  std::lock_guard<std::mutex> g2(b_);\n"
+                     "}\n"
+                     "void Store::g() {\n"
+                     "  std::lock_guard<std::mutex> g1(a_);\n"
+                     "  std::lock_guard<std::mutex> g2(b_);\n"
+                     "}\n"}}),
+      "lock-discipline"));
+  // Sequential (non-nested) scopes impose no order.
+  EXPECT_FALSE(has_rule(
+      lint_indexed({{"src/store/a.cpp",
+                     "void Store::f() {\n"
+                     "  { std::lock_guard<std::mutex> g(a_); }\n"
+                     "  { std::lock_guard<std::mutex> g(b_); }\n"
+                     "}\n"
+                     "void Store::g() {\n"
+                     "  { std::lock_guard<std::mutex> g(b_); }\n"
+                     "  { std::lock_guard<std::mutex> g(a_); }\n"
+                     "}\n"}}),
+      "lock-discipline"));
+}
+
+TEST(DblintLockDiscipline, MemberMutexesAreClassQualified) {
+  // Two classes both nest `mutex_` against the same global — opposite
+  // textual order, but distinct nodes once qualified: no cycle.
+  EXPECT_FALSE(has_rule(
+      lint_indexed({{"src/store/a.cpp",
+                     "void KvStore::f() {\n"
+                     "  std::lock_guard<std::mutex> g(mutex_);\n"
+                     "  std::lock_guard<std::mutex> h(g_mu);\n"
+                     "}\n"},
+                    {"src/doc/b.cpp",
+                     "void DocStore::f() {\n"
+                     "  std::lock_guard<std::mutex> g(g_mu);\n"
+                     "  std::lock_guard<std::mutex> h(mutex_);\n"
+                     "}\n"}}),
+      "lock-discipline"));
+}
+
+TEST(DblintLockDiscipline, AllowEscapeSuppresses) {
+  EXPECT_FALSE(has_rule(
+      lint_indexed(
+          {{"src/store/a.cpp",
+            "void f() {\n  mu_.lock();  // dblint:allow(lock-discipline): handoff\n}\n"}}),
+      "lock-discipline"));
+}
+
+// --- R8: plaintext-egress --------------------------------------------------
+
+TEST(DblintPlaintextEgress, FlagsPlaintextIdentifiersAtEgress) {
+  const auto diags = lint_indexed(
+      {{"src/core/exec/plan.cpp",
+        "void f() {\n  cloud_.call(method, plaintext_value);\n}\n"}});
+  ASSERT_TRUE(has_rule(diags, "plaintext-egress"));
+  EXPECT_EQ(line_of(diags, "plaintext-egress"), 2);
+  // doc::Value accessors are plaintext-derived by construction.
+  EXPECT_TRUE(has_rule(
+      lint_indexed({{"src/core/gateway.cpp",
+                     "void f() {\n  cloud_.send_batch(v.as_string());\n}\n"}}),
+      "plaintext-egress"));
+  EXPECT_TRUE(has_rule(
+      lint_indexed({{"src/core/gateway.cpp",
+                     "void f() {\n  chan.transfer_request(doc_value.size(), m);\n}\n"}}),
+      "plaintext-egress"));
+}
+
+TEST(DblintPlaintextEgress, SealedPayloadsAndWireConstructorPass) {
+  EXPECT_FALSE(has_rule(
+      lint_indexed({{"src/core/exec/plan.cpp",
+                     "void f() {\n  cloud_.call(method, sealed_blob);\n}\n"}}),
+      "plaintext-egress"));
+  // The capital-V `Value(...)` wire constructor is allowed; the ban is
+  // case-sensitive on purpose.
+  EXPECT_FALSE(has_rule(
+      lint_indexed({{"src/core/exec/plan.cpp",
+                     "void f() {\n  cloud_.call(method, Value(sealed_id));\n}\n"}}),
+      "plaintext-egress"));
+  // Non-egress callees carry anything.
+  EXPECT_FALSE(has_rule(
+      lint_indexed({{"src/core/exec/plan.cpp",
+                     "void f() {\n  journal_.record(plaintext_value);\n}\n"}}),
+      "plaintext-egress"));
+}
+
+TEST(DblintPlaintextEgress, KernelAllowlistAndTestsAreExempt) {
+  const std::string body = "void f() {\n  ctx_.cloud->call(m, value.scalar_bytes());\n}\n";
+  EXPECT_TRUE(has_rule(lint_indexed({{"src/core/exec/executor.cpp", body}}),
+                       "plaintext-egress"));
+  for (const char* path :
+       {"src/core/tactics/det_tactic.cpp", "src/net/rpc.cpp",
+        "src/workload/scenarios.cpp", "tests/rpc_test.cpp"}) {
+    EXPECT_FALSE(has_rule(lint_indexed({{path, body}}), "plaintext-egress")) << path;
+  }
+}
+
+TEST(DblintPlaintextEgress, AllowEscapeSuppresses) {
+  EXPECT_FALSE(has_rule(
+      lint_indexed(
+          {{"src/core/exec/plan.cpp",
+            "void f() {\n"
+            "  // dblint:allow(plaintext-egress): public collection name\n"
+            "  cloud_.call(m, col_value);\n}\n"}}),
+      "plaintext-egress"));
+}
+
+// --- R9: leakage-conformance -----------------------------------------------
+
+std::string tactic_src(const std::string& cls, const std::string& op,
+                       const std::string& leak) {
+  return "TacticDescriptor t;\n"
+         "t.name = \"FIX\";\n"
+         "t.protection_class = schema::ProtectionClass::" + cls + ";\n"
+         "t.operations = {\n"
+         "    {TacticOperation::" + op + ", {LeakageLevel::" + leak + ", \"O(1)\", 1}},\n"
+         "};\n";
+}
+
+TEST(DblintLeakage, FlagsQueryLeakageAboveClassCeiling) {
+  // A Class2 (identifiers) tactic whose search leaks equalities is
+  // mis-registered — the same fixture the runtime registry test rejects.
+  const auto diags = lint_leakage_conformance(
+      {{"src/core/tactics/evil_tactic.cpp",
+        tactic_src("kClass2", "kEqualitySearch", "kEqualities")}});
+  ASSERT_TRUE(has_rule(diags, "leakage-conformance"));
+  EXPECT_EQ(line_of(diags, "leakage-conformance"), 5);  // the declaring row
+}
+
+TEST(DblintLeakage, CeilingRespectsOperationFamilies) {
+  // Query ops are bounded exactly by the class rung.
+  EXPECT_FALSE(has_rule(
+      lint_leakage_conformance({{"src/core/tactics/a_tactic.cpp",
+                                 tactic_src("kClass2", "kEqualitySearch", "kIdentifiers")}}),
+      "leakage-conformance"));
+  // Update-pattern equality leakage is tolerated for Class2..4 (the
+  // stateless-Mitra shape) but not for Class1 (forward privacy).
+  EXPECT_FALSE(has_rule(
+      lint_leakage_conformance({{"src/core/tactics/a_tactic.cpp",
+                                 tactic_src("kClass2", "kInsert", "kEqualities")}}),
+      "leakage-conformance"));
+  EXPECT_TRUE(has_rule(
+      lint_leakage_conformance({{"src/core/tactics/a_tactic.cpp",
+                                 tactic_src("kClass1", "kInsert", "kEqualities")}}),
+      "leakage-conformance"));
+  // Init may never reveal more than structure, for any class.
+  EXPECT_TRUE(has_rule(
+      lint_leakage_conformance({{"src/core/tactics/a_tactic.cpp",
+                                 tactic_src("kClass5", "kInit", "kIdentifiers")}}),
+      "leakage-conformance"));
+}
+
+TEST(DblintLeakage, MissingDescriptorTableIsItselfAFinding) {
+  EXPECT_TRUE(has_rule(
+      lint_leakage_conformance({{"src/core/tactics/empty_tactic.cpp", "void f() {}\n"}}),
+      "leakage-conformance"));
+  // Only *_tactic.cpp files are in scope.
+  EXPECT_FALSE(has_rule(
+      lint_leakage_conformance({{"src/core/exec/plan.cpp", "void f() {}\n"}}),
+      "leakage-conformance"));
+}
+
+TEST(DblintLeakage, AllowEscapeSuppresses) {
+  std::string src = tactic_src("kClass2", "kEqualitySearch", "kEqualities");
+  const std::string row = "{TacticOperation::kEqualitySearch,";
+  src.replace(src.find(row), row.size(),
+              "// dblint:allow(leakage-conformance): reviewed exception\n    " + row);
+  EXPECT_FALSE(has_rule(
+      lint_leakage_conformance({{"src/core/tactics/evil_tactic.cpp", src}}),
+      "leakage-conformance"));
+}
+
+TEST(DblintLeakage, MatrixIsDeterministicAndCeilingDriven) {
+  const std::vector<FileInput> files = {
+      {"src/core/tactics/a_tactic.cpp",
+       tactic_src("kClass2", "kEqualitySearch", "kIdentifiers")}};
+  const std::string a = leakage_matrix_markdown(files);
+  EXPECT_EQ(a, leakage_matrix_markdown(files));
+  // One ceiling row straight out of schema::leakage_ceiling.
+  EXPECT_NE(a.find("| equality_search | Structure | Identifiers | Predicates | "
+                   "Equalities | Order |"),
+            std::string::npos);
+  // The declared profile, with its ceiling alongside.
+  EXPECT_NE(a.find("| FIX | Class2 | equality_search | Identifiers | Identifiers |"),
+            std::string::npos);
+}
+
 // --- Formatting and the real tree ------------------------------------------
+
+TEST(DblintFormat, JsonOutputEscapesAndOrdersKeys) {
+  const std::string json =
+      to_json({{"src/a.cpp", 7, "rng", "bad \"seed\""}});
+  EXPECT_NE(json.find("{\"file\": \"src/a.cpp\", \"line\": 7, \"rule\": \"rng\", "
+                      "\"message\": \"bad \\\"seed\\\"\"}"),
+            std::string::npos);
+  EXPECT_EQ(to_json({}), "[]\n");
+}
+
 
 TEST(DblintFormat, FileLineRuleMessage) {
   EXPECT_EQ(format({"src/a.cpp", 7, "rng", "bad"}), "src/a.cpp:7: [rng] bad");

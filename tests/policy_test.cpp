@@ -63,6 +63,47 @@ TEST_F(PolicyFixture, Section51SelectionTableReproduced) {
   EXPECT_EQ(plan.fields.count("interpretation"), 0u);
 }
 
+TEST_F(PolicyFixture, MisRegisteredLeakageIsRejectedAtRegistration) {
+  // The runtime twin of dblint's leakage-conformance pass: a Class-2
+  // (identifier-protecting) tactic whose search leaks equalities exceeds
+  // the schema ceiling and must never enter the registry. The same
+  // descriptor shape, committed as a lint fixture, makes dblint fire.
+  TacticDescriptor bad;
+  bad.name = "EVIL";
+  bad.protection_class = ProtectionClass::kClass2;
+  bad.operations = {
+      {TacticOperation::kInit, {LeakageLevel::kStructure, "O(n)", 1}},
+      {TacticOperation::kEqualitySearch, {LeakageLevel::kEqualities, "O(1)", 1}},
+  };
+  try {
+    registry_.register_field_tactic(bad, [](const GatewayContext&) {
+      return std::unique_ptr<FieldTactic>();
+    });
+    FAIL() << "excess-leakage descriptor was accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kPolicyViolation);
+    EXPECT_NE(std::string(e.what()).find("EVIL"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("ceiling"), std::string::npos);
+  }
+  EXPECT_FALSE(registry_.has("EVIL"));
+
+  // Update-family tolerance: the same equality leakage on kInsert is the
+  // stateless-Mitra shape and is admissible for Class 2.
+  TacticDescriptor ok = bad;
+  ok.name = "OK";
+  ok.operations = {
+      {TacticOperation::kInsert, {LeakageLevel::kEqualities, "O(1)", 1}},
+  };
+  EXPECT_TRUE(validate_descriptor_leakage(ok).ok());
+
+  // Every builtin registered by the fixture already passed the same gate;
+  // re-validate explicitly so a ceiling edit that strands a builtin fails
+  // here and not only at startup.
+  for (const auto& name : registry_.names()) {
+    EXPECT_TRUE(validate_descriptor_leakage(registry_.descriptor(name)).ok()) << name;
+  }
+}
+
 TEST_F(PolicyFixture, LeastProtectiveEligibleTacticWins) {
   Schema s("t");
   s.field("f4", ann(ProtectionClass::kClass4, {Operation::kInsert, Operation::kEquality}));

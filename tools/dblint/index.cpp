@@ -1,0 +1,432 @@
+#include "index.hpp"
+
+#include <algorithm>
+
+namespace dblint {
+namespace {
+
+bool is_keyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",      "for",     "while",    "switch",   "catch",    "return",
+      "sizeof",  "alignof", "decltype", "throw",    "new",      "delete",
+      "else",    "do",      "case",     "default",  "using",    "typedef",
+      "template","typename","operator", "noexcept", "static_assert",
+      "alignas", "co_await","co_return","co_yield", "requires", "assert"};
+  return kKeywords.count(s) > 0;
+}
+
+/// Index of the token matching tokens[open] (an `open_text` delimiter), or
+/// npos. Counts only its own delimiter kind, so mixed nesting is fine.
+std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open,
+                          const std::string& open_text, const std::string& close_text) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].text == open_text) ++depth;
+    if (tokens[i].text == close_text && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+/// Skips template arguments starting at tokens[open] == "<"; returns the
+/// index just past the closing '>', treating '>>' as two closers. npos on
+/// a runaway (not actually template args, e.g. a comparison).
+std::size_t skip_template_args(const std::vector<Token>& tokens, std::size_t open) {
+  int depth = 0;
+  const std::size_t limit = std::min(tokens.size(), open + 64);
+  for (std::size_t i = open; i < limit; ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "<") ++depth;
+    if (t == "<=" || t == ">=" || t == ";" || t == "{") return std::string::npos;
+    if (t == ">" && --depth == 0) return i + 1;
+    if (t == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Records every name declared (or defined) with a Status / Result<...>
+/// return type: `Status f(`, `Status Cls::f(`, `Result<T> g(`, including
+/// `static Status OK(`.
+void collect_status_signatures(const std::vector<Token>& tokens,
+                               std::set<std::string>* out) {
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!tokens[i].is_ident) continue;
+    std::size_t j;
+    if (tokens[i].text == "Status") {
+      j = i + 1;
+    } else if (tokens[i].text == "Result" && tokens[i + 1].text == "<") {
+      j = skip_template_args(tokens, i + 1);
+      if (j == std::string::npos) continue;
+    } else {
+      continue;
+    }
+    if (j >= tokens.size() || !tokens[j].is_ident) continue;
+    // Skip a Cls::...:: qualifier chain to the final name.
+    while (j + 2 < tokens.size() && tokens[j + 1].text == "::" && tokens[j + 2].is_ident) {
+      j += 2;
+    }
+    if (j + 1 < tokens.size() && tokens[j + 1].text == "(" && !is_keyword(tokens[j].text)) {
+      out->insert(tokens[j].text);
+    }
+  }
+}
+
+const std::set<std::string>& guard_types() {
+  static const std::set<std::string> kGuards = {"lock_guard", "scoped_lock",
+                                                "unique_lock", "shared_lock"};
+  return kGuards;
+}
+
+/// Normalizes one guard-constructor argument (a token slice) into a mutex
+/// name: "mutex_" -> "mutex_", "other . mutex_" -> "other.mutex_". Member
+/// mutexes (single trailing-underscore identifier) are qualified with the
+/// enclosing class so KvStore::mutex_ and DocStore::mutex_ stay distinct
+/// nodes in the lock-order graph. Lock tags (std::adopt_lock etc.) and
+/// non-name expressions return empty.
+std::string normalize_mutex(const std::vector<Token>& tokens, std::size_t begin,
+                            std::size_t end, const std::string& class_name) {
+  std::string name;
+  std::size_t ident_count = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "this" || t == "*" || t == "&") continue;
+    if (t == "." || t == "->" || t == "::") {
+      if (!name.empty()) name += (t == "::") ? "::" : ".";
+      continue;
+    }
+    if (!tokens[i].is_ident) return {};  // expression, not a name
+    name += t;
+    ++ident_count;
+  }
+  if (name.empty()) return {};
+  if (ends_with(name, "_lock")) return {};  // std::adopt_lock / defer_lock tags
+  if (ident_count == 1 && ends_with(name, "_") && !class_name.empty()) {
+    return class_name + "::" + name;
+  }
+  return name;
+}
+
+/// Walks one function body: brace depth, guard scopes (with held-before
+/// edges), and call sites with discard classification.
+void scan_body(const std::vector<Token>& tokens, FunctionInfo* fn) {
+  struct OpenGuard {
+    std::size_t depth;
+    std::vector<std::string> mutexes;
+  };
+  std::vector<OpenGuard> open_guards;
+  std::size_t depth = 0;
+
+  for (std::size_t i = fn->body_begin; i <= fn->body_end; ++i) {
+    const Token& t = tokens[i];
+    if (t.text == "{") {
+      ++depth;
+      continue;
+    }
+    if (t.text == "}") {
+      --depth;
+      while (!open_guards.empty() && open_guards.back().depth > depth) {
+        open_guards.pop_back();
+      }
+      continue;
+    }
+
+    // --- RAII guard acquisition ------------------------------------------
+    if (t.is_ident && guard_types().count(t.text) > 0) {
+      std::size_t j = i + 1;
+      if (j < fn->body_end && tokens[j].text == "<") {
+        const std::size_t past = skip_template_args(tokens, j);
+        if (past == std::string::npos) continue;
+        j = past;
+      }
+      if (j + 1 >= fn->body_end || !tokens[j].is_ident || tokens[j + 1].text != "(") {
+        continue;  // e.g. a mention in a type alias — no acquisition
+      }
+      const std::size_t close = match_forward(tokens, j + 1, "(", ")");
+      if (close == std::string::npos || close > fn->body_end) continue;
+
+      GuardSite guard;
+      guard.line_index = t.line_index;
+      guard.depth = depth;
+      std::size_t arg_begin = j + 2;
+      int nest = 0;
+      for (std::size_t k = j + 2; k <= close; ++k) {
+        const std::string& kt = tokens[k].text;
+        if (kt == "(" || kt == "{") ++nest;
+        if (kt == ")" || kt == "}") --nest;
+        if ((kt == "," && nest == 0) || k == close) {
+          const std::string m =
+              normalize_mutex(tokens, arg_begin, k, fn->class_name);
+          if (!m.empty()) guard.mutexes.push_back(m);
+          arg_begin = k + 1;
+        }
+      }
+      if (!guard.mutexes.empty()) {
+        for (const OpenGuard& held : open_guards) {
+          for (const std::string& from : held.mutexes) {
+            for (const std::string& to : guard.mutexes) {
+              fn->lock_edges.push_back({from, to, t.line_index});
+            }
+          }
+        }
+        open_guards.push_back({depth, guard.mutexes});
+        fn->guards.push_back(std::move(guard));
+      }
+      i = close;
+      continue;
+    }
+
+    // --- call sites -------------------------------------------------------
+    if (t.text == "(" && i > fn->body_begin && tokens[i - 1].is_ident &&
+        !is_keyword(tokens[i - 1].text)) {
+      const std::size_t close = match_forward(tokens, i, "(", ")");
+      if (close == std::string::npos || close > fn->body_end) continue;
+
+      CallSite call;
+      call.callee = tokens[i - 1].text;
+      call.callee_token = i - 1;
+      call.close_token = close;
+      call.line_index = tokens[i - 1].line_index;
+
+      // Walk the member chain back to its head: `store_.sub().sync(` is
+      // approximated by stepping over `ident . ident` pairs.
+      std::size_t h = i - 1;
+      call.member_call = h > fn->body_begin && (tokens[h - 1].text == "." ||
+                                                tokens[h - 1].text == "->");
+      while (h >= fn->body_begin + 2 &&
+             (tokens[h - 1].text == "." || tokens[h - 1].text == "->" ||
+              tokens[h - 1].text == "::") &&
+             tokens[h - 2].is_ident) {
+        h -= 2;
+      }
+      call.chain_head = tokens[h].text;
+
+      // Discarded iff the call chain IS the whole expression statement:
+      // terminated by ';' and preceded by a statement boundary. A `)`
+      // boundary covers `if (...) chain.f();` — still a discard — while a
+      // preceding `(void)` cast marks the discard deliberate.
+      if (close + 1 <= fn->body_end && tokens[close + 1].text == ";") {
+        const std::size_t p = h - 1;  // h > body_begin always (body '{' first)
+        const std::string& pt = tokens[p].text;
+        if (pt == ";" || pt == "{" || pt == "}" || pt == ")" || pt == "else") {
+          call.result_discarded = true;
+          if (pt == ")" && p >= 2 && tokens[p - 1].text == "void" &&
+              tokens[p - 2].text == "(") {
+            call.void_cast = true;
+          }
+        }
+      }
+      fn->calls.push_back(std::move(call));
+      continue;
+    }
+  }
+}
+
+/// Extracts function definitions from one file's token stream, tracking
+/// enclosing class/struct scopes so inline members get a class name.
+std::vector<FunctionInfo> extract_functions(const std::vector<Token>& tokens) {
+  std::vector<FunctionInfo> functions;
+  struct ClassScope {
+    std::size_t depth;  // brace depth INSIDE the class body
+    std::string name;
+  };
+  std::vector<ClassScope> class_stack;
+  std::size_t depth = 0;
+
+  std::size_t i = 0;
+  while (i < tokens.size()) {
+    const Token& t = tokens[i];
+    if (t.text == "{") {
+      ++depth;
+      ++i;
+      continue;
+    }
+    if (t.text == "}") {
+      --depth;
+      while (!class_stack.empty() && class_stack.back().depth > depth) {
+        class_stack.pop_back();
+      }
+      ++i;
+      continue;
+    }
+
+    // class/struct scope entry (skipping forward declarations).
+    if (t.is_ident && (t.text == "class" || t.text == "struct") &&
+        i + 1 < tokens.size() && tokens[i + 1].is_ident) {
+      const std::string name = tokens[i + 1].text;
+      std::size_t k = i + 2;
+      bool has_body = false;
+      while (k < tokens.size() && k < i + 48) {
+        if (tokens[k].text == "{") {
+          has_body = true;
+          break;
+        }
+        if (tokens[k].text == ";" || tokens[k].text == "(") break;
+        ++k;
+      }
+      if (has_body) {
+        class_stack.push_back({depth + 1, name});
+        depth += 1;
+        i = k + 1;
+        continue;
+      }
+      i += 2;
+      continue;
+    }
+
+    if (t.text != "(" || i == 0 || !tokens[i - 1].is_ident ||
+        is_keyword(tokens[i - 1].text)) {
+      ++i;
+      continue;
+    }
+
+    // Candidate: qualified-name '(' params ')' [qualifiers] '{'.
+    std::size_t chain_start = i - 1;
+    std::string qualified = tokens[chain_start].text;
+    std::string class_name;
+    while (chain_start >= 2 && tokens[chain_start - 1].text == "::" &&
+           tokens[chain_start - 2].is_ident) {
+      if (class_name.empty()) class_name = tokens[chain_start - 2].text;
+      qualified = tokens[chain_start - 2].text + "::" + qualified;
+      chain_start -= 2;
+    }
+    if (class_name.empty() && !class_stack.empty()) {
+      class_name = class_stack.back().name;
+    }
+
+    const std::size_t close = match_forward(tokens, i, "(", ")");
+    if (close == std::string::npos) {
+      ++i;
+      continue;
+    }
+
+    // Bridge the gap between ')' and the body '{' — cv-qualifiers,
+    // noexcept(...), trailing return, ctor init list. Anything else
+    // (';', '=', ',', '.', operators) means "not a definition".
+    std::size_t m = close + 1;
+    std::size_t body = std::string::npos;
+    while (m < tokens.size()) {
+      const std::string& mt = tokens[m].text;
+      if (mt == "{") {
+        body = m;
+        break;
+      }
+      if (mt == "const" || mt == "override" || mt == "final" || mt == "&" ||
+          mt == "&&") {
+        ++m;
+        continue;
+      }
+      if (mt == "noexcept") {
+        ++m;
+        if (m < tokens.size() && tokens[m].text == "(") {
+          const std::size_t nc = match_forward(tokens, m, "(", ")");
+          if (nc == std::string::npos) break;
+          m = nc + 1;
+        }
+        continue;
+      }
+      if (mt == "->") {  // trailing return type
+        ++m;
+        while (m < tokens.size() &&
+               (tokens[m].is_ident || tokens[m].text == "::" ||
+                tokens[m].text == "<" || tokens[m].text == ">" ||
+                tokens[m].text == ">>" || tokens[m].text == "*" ||
+                tokens[m].text == "&" || tokens[m].text == ",")) {
+          ++m;
+        }
+        continue;
+      }
+      if (mt == ":") {  // constructor init list
+        ++m;
+        bool parsed = true;
+        while (m < tokens.size()) {
+          while (m < tokens.size() &&
+                 (tokens[m].is_ident || tokens[m].text == "::")) {
+            ++m;
+          }
+          if (m >= tokens.size() ||
+              (tokens[m].text != "(" && tokens[m].text != "{")) {
+            parsed = false;
+            break;
+          }
+          const bool paren = tokens[m].text == "(";
+          const std::size_t gc = paren ? match_forward(tokens, m, "(", ")")
+                                       : match_forward(tokens, m, "{", "}");
+          if (gc == std::string::npos) {
+            parsed = false;
+            break;
+          }
+          m = gc + 1;
+          if (m < tokens.size() && tokens[m].text == ",") {
+            ++m;
+            continue;
+          }
+          break;
+        }
+        if (!parsed) break;
+        continue;
+      }
+      break;
+    }
+
+    if (body == std::string::npos) {
+      i = close + 1;
+      continue;
+    }
+    const std::size_t body_end = match_forward(tokens, body, "{", "}");
+    if (body_end == std::string::npos) {
+      i = body + 1;
+      ++depth;
+      continue;
+    }
+
+    FunctionInfo fn;
+    fn.name = tokens[i - 1].text;
+    fn.qualified = qualified;
+    fn.class_name = class_name;
+    fn.line_index = tokens[chain_start].line_index;
+    fn.body_begin = body;
+    fn.body_end = body_end;
+    if (chain_start > 0) {
+      const Token& prev = tokens[chain_start - 1];
+      if (prev.text == "Status") {
+        fn.returns_status = true;
+      } else if (prev.text == ">" || prev.text == ">>") {
+        // Walk the template args back to their head and check for Result.
+        int tdepth = 0;
+        std::size_t b = chain_start - 1;
+        for (;; --b) {
+          const std::string& bt = tokens[b].text;
+          if (bt == ">") ++tdepth;
+          if (bt == ">>") tdepth += 2;
+          if (bt == "<" && --tdepth == 0) break;
+          if (b == 0) break;
+        }
+        if (b >= 1 && tokens[b - 1].text == "Result") fn.returns_status = true;
+      }
+    }
+    scan_body(tokens, &fn);
+    functions.push_back(std::move(fn));
+    i = body_end + 1;
+  }
+  return functions;
+}
+
+}  // namespace
+
+RepoIndex build_index(const std::vector<FileInput>& files) {
+  RepoIndex index;
+  for (const FileInput& f : files) {
+    FileIndex fi;
+    fi.path = f.path;
+    fi.tokens = tokenize(strip_comments_and_strings(f.content));
+    fi.allows = collect_allows(split_lines(f.content));
+    fi.functions = extract_functions(fi.tokens);
+    collect_status_signatures(fi.tokens, &index.status_returning);
+    index.files.push_back(std::move(fi));
+  }
+  return index;
+}
+
+}  // namespace dblint

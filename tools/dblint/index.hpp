@@ -1,0 +1,86 @@
+// dblint indexer — a single token-level pass over src/ + tests/ that
+// extracts the facts the flow-sensitive rules need, without libclang:
+//
+//   * function definitions (qualified name, enclosing class, body span),
+//   * call sites inside each body (callee, member-chain head, whether the
+//     result is consumed),
+//   * RAII guard scopes (lock_guard / scoped_lock / unique_lock /
+//     shared_lock) with normalized, class-qualified mutex names and the
+//     brace depth they live at,
+//   * the set of function names whose declared return type is Status or
+//     Result<...>.
+//
+// Everything downstream — unchecked-status, lock-discipline,
+// plaintext-egress — is a query over this in-memory fact base. The
+// extraction is heuristic by design: a construct the indexer cannot parse
+// simply contributes no facts (and therefore no findings), never a crash.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+#include "text.hpp"
+
+namespace dblint {
+
+/// One call site inside a function body.
+struct CallSite {
+  std::string callee;       // final identifier before '(' (e.g. "sync")
+  std::string chain_head;   // first identifier of the member chain ("store_")
+  std::size_t callee_token = 0;  // index into FileIndex::tokens
+  std::size_t close_token = 0;   // index of the matching ')'
+  std::size_t line_index = 0;    // 0-based
+  bool member_call = false;      // reached via '.' or '->'
+  bool result_discarded = false; // full-expression statement, value unused
+  bool void_cast = false;        // `(void)chain.call();` — deliberate discard
+};
+
+/// One RAII guard acquisition inside a function body.
+struct GuardSite {
+  std::vector<std::string> mutexes;  // normalized; >1 for std::scoped_lock
+  std::size_t line_index = 0;
+  std::size_t depth = 0;  // brace depth inside the body (body '{' = 1)
+};
+
+/// "Mutex `from` was held when `to` was acquired" — one per (guard pair)
+/// witnessed inside a single function body. The lock-discipline pass
+/// aggregates these across the repo into the lock-order graph.
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::size_t line_index = 0;  // acquisition site of `to`
+};
+
+struct FunctionInfo {
+  std::string name;        // unqualified ("sync")
+  std::string qualified;   // as written ("KvStore::sync")
+  std::string class_name;  // enclosing class, from the qualifier or scope
+  std::size_t line_index = 0;
+  std::size_t body_begin = 0;  // token index of '{'
+  std::size_t body_end = 0;    // token index of matching '}'
+  bool returns_status = false; // Status or Result<...> return type
+  std::vector<CallSite> calls;
+  std::vector<GuardSite> guards;
+  std::vector<LockEdge> lock_edges;
+};
+
+struct FileIndex {
+  std::string path;
+  std::vector<Token> tokens;                   // strings/comments stripped
+  std::vector<std::set<std::string>> allows;   // dblint:allow markers
+  std::vector<FunctionInfo> functions;
+};
+
+struct RepoIndex {
+  std::vector<FileIndex> files;
+  /// Unqualified names of every function declared or defined with a
+  /// Status / Result<...> return type anywhere in the indexed set.
+  std::set<std::string> status_returning;
+};
+
+RepoIndex build_index(const std::vector<FileInput>& files);
+
+}  // namespace dblint

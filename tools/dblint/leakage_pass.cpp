@@ -1,0 +1,248 @@
+#include "leakage_pass.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "schema/leakage.hpp"
+#include "text.hpp"
+
+namespace dblint {
+namespace {
+
+namespace schema = datablinder::schema;
+using schema::LeakageLevel;
+using schema::ProtectionClass;
+using schema::TacticOperation;
+
+bool is_tactic_file(const std::string& path) {
+  return starts_with(path, "src/core/tactics/") && ends_with(path, "_tactic.cpp");
+}
+
+/// Maps an enumerator spelling ("kInsert") to its TacticOperation value,
+/// via the token table that lives next to the enum itself. -1 if unknown.
+int operation_from_token(const std::string& token) {
+  for (int v = 0; v < schema::kTacticOperationCount; ++v) {
+    if (token == schema::tactic_operation_token(static_cast<TacticOperation>(v))) {
+      return v;
+    }
+  }
+  return -1;
+}
+
+int level_from_token(const std::string& token) {
+  for (int v = 1; v <= 5; ++v) {
+    if (token == schema::leakage_level_token(static_cast<LeakageLevel>(v))) return v;
+  }
+  return -1;
+}
+
+/// `ident :: ident` lookahead: returns the enumerator after `Scope::` when
+/// tokens[i] is the scope name, else empty.
+std::string scoped_enumerator(const std::vector<Token>& tokens, std::size_t i,
+                              const char* scope) {
+  if (!tokens[i].is_ident || tokens[i].text != scope) return {};
+  if (i + 2 >= tokens.size() || tokens[i + 1].text != "::" || !tokens[i + 2].is_ident) {
+    return {};
+  }
+  return tokens[i + 2].text;
+}
+
+/// Parses all descriptor tables out of one tactic file. Strings are KEPT
+/// through tokenization because `.name = "DET"` is the tactic's identity.
+std::vector<TacticLeakage> parse_file(const FileInput& f) {
+  std::vector<TacticLeakage> out;
+  const std::vector<Token> tokens =
+      tokenize(strip_comments_and_strings(f.content, /*keep_strings=*/true));
+
+  TacticLeakage cur;
+  cur.file = f.path;
+  auto flush = [&] {
+    if (!cur.name.empty() || cur.protection_class != 0 || !cur.operations.empty()) {
+      out.push_back(cur);
+      cur = TacticLeakage{};
+      cur.file = f.path;
+    }
+  };
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    // `.name = "DET"` starts a new descriptor.
+    if (t.is_ident && t.text == "name" && i >= 1 && tokens[i - 1].text == "." &&
+        i + 2 < tokens.size() && tokens[i + 1].text == "=" && tokens[i + 2].is_string) {
+      flush();
+      cur.name = tokens[i + 2].text;
+      continue;
+    }
+    // `.protection_class = schema::ProtectionClass::kClassN`
+    if (t.is_ident && t.text == "protection_class" && i >= 1 &&
+        tokens[i - 1].text == "." && i + 1 < tokens.size() &&
+        tokens[i + 1].text == "=") {
+      for (std::size_t k = i + 2; k < std::min(tokens.size(), i + 10); ++k) {
+        const std::string e = scoped_enumerator(tokens, k, "ProtectionClass");
+        if (e.size() == 7 && starts_with(e, "kClass") && e[6] >= '1' && e[6] <= '5') {
+          cur.protection_class = e[6] - '0';
+          cur.class_line_index = t.line_index;
+          break;
+        }
+        if (tokens[k].text == ";") break;
+      }
+      continue;
+    }
+    // `.operations = { {TacticOperation::kX, {LeakageLevel::kY, ...}}, ... }`
+    if (t.is_ident && t.text == "operations" && i >= 1 && tokens[i - 1].text == "." &&
+        i + 2 < tokens.size() && tokens[i + 1].text == "=" &&
+        tokens[i + 2].text == "{") {
+      int depth = 0;
+      std::size_t k = i + 2;
+      OperationLeakage pending;
+      bool have_op = false;
+      for (; k < tokens.size(); ++k) {
+        if (tokens[k].text == "{") ++depth;
+        if (tokens[k].text == "}" && --depth == 0) break;
+        const std::string op_tok = scoped_enumerator(tokens, k, "TacticOperation");
+        if (!op_tok.empty()) {
+          const int op = operation_from_token(op_tok);
+          if (op >= 0) {
+            pending = OperationLeakage{op, 0, tokens[k].line_index};
+            have_op = true;
+          }
+          k += 2;
+          continue;
+        }
+        const std::string lv_tok = scoped_enumerator(tokens, k, "LeakageLevel");
+        if (!lv_tok.empty() && have_op) {
+          const int lv = level_from_token(lv_tok);
+          if (lv > 0) {
+            pending.level = lv;
+            cur.operations.push_back(pending);
+          }
+          have_op = false;
+          k += 2;
+          continue;
+        }
+      }
+      i = k;
+      continue;
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace
+
+std::vector<TacticLeakage> parse_tactic_leakage(const std::vector<FileInput>& files) {
+  std::vector<TacticLeakage> out;
+  for (const FileInput& f : files) {
+    if (!is_tactic_file(f.path)) continue;
+    const std::vector<TacticLeakage> parsed = parse_file(f);
+    out.insert(out.end(), parsed.begin(), parsed.end());
+  }
+  std::sort(out.begin(), out.end(), [](const TacticLeakage& a, const TacticLeakage& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.file < b.file;
+  });
+  return out;
+}
+
+std::vector<Diagnostic> lint_leakage_conformance(const std::vector<FileInput>& files) {
+  std::vector<Diagnostic> out;
+  std::set<std::string> files_with_tables;
+  const std::vector<TacticLeakage> tactics = parse_tactic_leakage(files);
+
+  // Allow markers live per file; gather them lazily.
+  std::map<std::string, std::vector<std::set<std::string>>> allows_by_file;
+  for (const FileInput& f : files) {
+    if (is_tactic_file(f.path)) {
+      allows_by_file[f.path] = collect_allows(split_lines(f.content));
+    }
+  }
+
+  for (const TacticLeakage& t : tactics) {
+    files_with_tables.insert(t.file);
+    const auto& allows = allows_by_file[t.file];
+    if (t.name.empty() || t.protection_class == 0) {
+      out.push_back({t.file, static_cast<int>(t.class_line_index + 1),
+                     "leakage-conformance",
+                     "descriptor table missing " +
+                         std::string(t.name.empty() ? ".name" : ".protection_class") +
+                         "; the leakage pass cannot vouch for this tactic"});
+      continue;
+    }
+    const auto cls = static_cast<ProtectionClass>(t.protection_class);
+    for (const OperationLeakage& o : t.operations) {
+      const auto op = static_cast<TacticOperation>(o.operation);
+      const auto declared = static_cast<LeakageLevel>(o.level);
+      if (schema::leakage_within(cls, op, declared)) continue;
+      if (allowed(allows, o.line_index, "leakage-conformance")) continue;
+      out.push_back(
+          {t.file, static_cast<int>(o.line_index + 1), "leakage-conformance",
+           "tactic '" + t.name + "' declares " +
+               schema::leakage_level_name(declared) + " leakage for " +
+               schema::tactic_operation_name(op) + ", above the " +
+               schema::protection_class_name(cls) + " ceiling " +
+               schema::leakage_level_name(schema::leakage_ceiling(cls, op))});
+    }
+  }
+
+  for (const FileInput& f : files) {
+    if (is_tactic_file(f.path) && files_with_tables.count(f.path) == 0) {
+      out.push_back({f.path, 1, "leakage-conformance",
+                     "no {TacticOperation, {LeakageLevel, ...}} descriptor table found; "
+                     "every tactic must declare its per-operation leakage"});
+    }
+  }
+  return out;
+}
+
+std::string leakage_matrix_markdown(const std::vector<FileInput>& files) {
+  std::ostringstream md;
+  md << "# Leakage conformance matrix\n\n"
+     << "Generated by `dblint --emit-leakage-matrix` from the constexpr ceiling\n"
+     << "table in `src/schema/leakage.hpp` and the descriptor tables in\n"
+     << "`src/core/tactics/*_tactic.cpp`. Do not edit by hand — CI fails when\n"
+     << "this file drifts from its inputs.\n\n";
+
+  md << "## Per-operation leakage ceilings\n\n"
+     << "The maximum `LeakageLevel` a tactic registered at each protection\n"
+     << "class may declare per operation (Fuller et al. SoK taxonomy:\n"
+     << "Structure < Identifiers < Predicates < Equalities < Order).\n\n";
+  md << "| Operation | Class1 | Class2 | Class3 | Class4 | Class5 |\n"
+     << "|---|---|---|---|---|---|\n";
+  for (int v = 0; v < schema::kTacticOperationCount; ++v) {
+    const auto op = static_cast<TacticOperation>(v);
+    md << "| " << schema::tactic_operation_name(op) << " ";
+    for (int c = 1; c <= 5; ++c) {
+      md << "| "
+         << schema::leakage_level_name(
+                schema::leakage_ceiling(static_cast<ProtectionClass>(c), op))
+         << " ";
+    }
+    md << "|\n";
+  }
+
+  md << "\n## Declared tactic leakage\n\n"
+     << "| Tactic | Class | Operation | Declared | Ceiling |\n"
+     << "|---|---|---|---|---|\n";
+  for (const TacticLeakage& t : parse_tactic_leakage(files)) {
+    if (t.protection_class == 0) continue;
+    const auto cls = static_cast<ProtectionClass>(t.protection_class);
+    std::vector<OperationLeakage> ops = t.operations;
+    std::sort(ops.begin(), ops.end(),
+              [](const OperationLeakage& a, const OperationLeakage& b) {
+                return a.operation < b.operation;
+              });
+    for (const OperationLeakage& o : ops) {
+      const auto op = static_cast<TacticOperation>(o.operation);
+      md << "| " << t.name << " | " << schema::protection_class_name(cls)
+         << " | " << schema::tactic_operation_name(op) << " | "
+         << schema::leakage_level_name(static_cast<LeakageLevel>(o.level)) << " | "
+         << schema::leakage_level_name(schema::leakage_ceiling(cls, op)) << " |\n";
+    }
+  }
+  return md.str();
+}
+
+}  // namespace dblint

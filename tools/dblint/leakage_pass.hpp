@@ -1,0 +1,50 @@
+// leakage-conformance (R9) — the lint half of the leakage invariant.
+//
+// Parses the per-operation `{TacticOperation::kX, {LeakageLevel::kY, ...}}`
+// descriptor tables out of every src/core/tactics/*_tactic.cpp and checks
+// each declared rung against the constexpr ceiling table in
+// src/schema/leakage.hpp — the SAME definition site the runtime registry
+// and policy engine consult, so the lint and the gateway cannot disagree.
+// Also generates doc/LEAKAGE.md from those two inputs; lint_tree treats
+// any drift between the generated text and the checked-in file as a
+// finding.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace dblint {
+
+/// One `{TacticOperation, {LeakageLevel, ...}}` row, as parsed.
+struct OperationLeakage {
+  int operation = 0;  // schema::TacticOperation numeric value
+  int level = 0;      // schema::LeakageLevel numeric value
+  std::size_t line_index = 0;
+};
+
+/// One descriptor table found in a tactic translation unit.
+struct TacticLeakage {
+  std::string file;
+  std::string name;          // `.name = "DET"`
+  int protection_class = 0;  // 1..5; 0 when the parser found none
+  std::size_t class_line_index = 0;
+  std::vector<OperationLeakage> operations;
+};
+
+/// Descriptor tables from every `src/core/tactics/*_tactic.cpp` in
+/// `files`; other paths are ignored. Sorted by tactic name.
+std::vector<TacticLeakage> parse_tactic_leakage(const std::vector<FileInput>& files);
+
+/// The leakage-conformance pass: every parsed declaration must satisfy
+/// schema::leakage_within; a tactic file the parser cannot extract a
+/// descriptor from is itself a finding (the pass must not rot silently).
+std::vector<Diagnostic> lint_leakage_conformance(const std::vector<FileInput>& files);
+
+/// Deterministic markdown for doc/LEAKAGE.md: the ceiling matrix straight
+/// from schema::leakage_ceiling plus every tactic's declared profile.
+std::string leakage_matrix_markdown(const std::vector<FileInput>& files);
+
+}  // namespace dblint

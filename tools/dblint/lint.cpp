@@ -1,216 +1,19 @@
 #include "lint.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
 
+#include "index.hpp"
+#include "leakage_pass.hpp"
+#include "passes.hpp"
+#include "text.hpp"
+
 namespace dblint {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Small text utilities
-// ---------------------------------------------------------------------------
-
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
-    } else {
-      current.push_back(c);
-    }
-  }
-  if (!current.empty()) lines.push_back(current);
-  return lines;
-}
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Replaces comments, string literals and char literals with spaces so the
-/// token rules never fire on prose. Newlines survive, so line numbers hold.
-std::string strip_comments_and_strings(const std::string& text) {
-  std::string out = text;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = (i + 1 < out.size()) ? out[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;
-          out[i] = ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          out[i] = ' ';
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n' && next != '\0') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          out[i] = ' ';
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n' && next != '\0') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '\'') {
-          out[i] = ' ';
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Allow-escape markers: `// dblint:allow(<rule>)` suppresses findings for
-// <rule> on its own line and on the line immediately below (so a marker can
-// sit on a short line of its own above the flagged statement).
-// ---------------------------------------------------------------------------
-
-std::vector<std::set<std::string>> collect_allows(const std::vector<std::string>& raw_lines) {
-  std::vector<std::set<std::string>> allows(raw_lines.size());
-  const std::string marker = "dblint:allow(";
-  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
-    const std::string& line = raw_lines[i];
-    std::size_t pos = 0;
-    while ((pos = line.find(marker, pos)) != std::string::npos) {
-      const std::size_t start = pos + marker.size();
-      const std::size_t close = line.find(')', start);
-      if (close == std::string::npos) break;
-      const std::string rule = line.substr(start, close - start);
-      allows[i].insert(rule);
-      if (i + 1 < raw_lines.size()) allows[i + 1].insert(rule);
-      pos = close;
-    }
-  }
-  return allows;
-}
-
-bool allowed(const std::vector<std::set<std::string>>& allows, std::size_t line_index,
-             const std::string& rule) {
-  return line_index < allows.size() && allows[line_index].count(rule) > 0;
-}
-
-// ---------------------------------------------------------------------------
-// Tokenizer — a whole-file token stream with line numbers, just enough
-// structure for operand analysis across line breaks.
-// ---------------------------------------------------------------------------
-
-struct Token {
-  std::string text;
-  bool is_ident = false;
-  std::size_t line_index = 0;  // 0-based
-};
-
-std::vector<Token> tokenize(const std::string& text) {
-  std::vector<Token> tokens;
-  std::size_t line = 0;
-  std::size_t i = 0;
-  while (i < text.size()) {
-    const char c = text[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    if (is_ident_char(c)) {
-      std::size_t j = i;
-      while (j < text.size() && is_ident_char(text[j])) ++j;
-      tokens.push_back({text.substr(i, j - i), true, line});
-      i = j;
-      continue;
-    }
-    // Two-char operators we care about; everything else is single-char.
-    if (i + 1 < text.size()) {
-      const std::string two = text.substr(i, 2);
-      if (two == "==" || two == "!=" || two == "->" || two == "<=" || two == ">=" ||
-          two == "&&" || two == "||" || two == "<<" || two == ">>" || two == "::") {
-        tokens.push_back({two, false, line});
-        i += 2;
-        continue;
-      }
-    }
-    tokens.push_back({std::string(1, c), false, line});
-    ++i;
-  }
-  return tokens;
-}
-
-/// Last '_'-separated segment of an identifier, trailing underscores and
-/// digits stripped: "prf_key_" -> "key", "det_token" -> "token",
-/// "keyword" -> "keyword".
-std::string last_segment(const std::string& ident) {
-  std::string s = ident;
-  while (!s.empty() && (s.back() == '_' || std::isdigit(static_cast<unsigned char>(s.back())))) {
-    s.pop_back();
-  }
-  const std::size_t pos = s.rfind('_');
-  std::string seg = (pos == std::string::npos) ? s : s.substr(pos + 1);
-  std::transform(seg.begin(), seg.end(), seg.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-  return seg;
-}
 
 bool is_secret_buffer_name(const std::string& ident) {
   static const std::set<std::string> kSegments = {"tag", "mac", "token", "key", "secret"};
@@ -499,6 +302,28 @@ void report_cycles(const std::map<std::string, std::vector<std::string>>& graph,
   }
 }
 
+std::string json_escape(const std::string& s) {
+  std::ostringstream out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  return out.str();
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -508,6 +333,20 @@ void report_cycles(const std::map<std::string, std::vector<std::string>>& graph,
 std::string format(const Diagnostic& d) {
   std::ostringstream os;
   os << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message;
+  return os.str();
+}
+
+std::string to_json(const std::vector<Diagnostic>& diagnostics) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    if (i) os << ",";
+    os << "\n  {\"file\": \"" << json_escape(d.file) << "\", \"line\": " << d.line
+       << ", \"rule\": \"" << json_escape(d.rule) << "\", \"message\": \""
+       << json_escape(d.message) << "\"}";
+  }
+  os << (diagnostics.empty() ? "]\n" : "\n]\n");
   return os.str();
 }
 
@@ -569,11 +408,19 @@ std::vector<Diagnostic> lint_include_graph(const std::vector<FileInput>& files) 
   return out;
 }
 
-std::vector<Diagnostic> lint_tree(const std::string& repo_root) {
-  namespace fs = std::filesystem;
-  std::vector<Diagnostic> out;
-  std::vector<FileInput> src_files;
+std::vector<Diagnostic> lint_indexed(const std::vector<FileInput>& files) {
+  const RepoIndex index = build_index(files);
+  std::vector<Diagnostic> out = check_unchecked_status(index);
+  std::vector<Diagnostic> locks = check_lock_discipline(index);
+  out.insert(out.end(), locks.begin(), locks.end());
+  std::vector<Diagnostic> egress = check_plaintext_egress(index);
+  out.insert(out.end(), egress.begin(), egress.end());
+  return out;
+}
 
+std::vector<FileInput> read_tree(const std::string& repo_root) {
+  namespace fs = std::filesystem;
+  std::vector<FileInput> files;
   for (const char* top : {"src", "tests"}) {
     const fs::path base = fs::path(repo_root) / top;
     if (!fs::exists(base)) continue;
@@ -585,14 +432,53 @@ std::vector<Diagnostic> lint_tree(const std::string& repo_root) {
       std::ifstream in(entry.path(), std::ios::binary);
       std::ostringstream ss;
       ss << in.rdbuf();
-      FileInput file{rel, ss.str()};
-      const std::vector<Diagnostic> diags = lint_file(file.path, file.content);
-      out.insert(out.end(), diags.begin(), diags.end());
-      if (starts_with(rel, "src/")) src_files.push_back(std::move(file));
+      files.push_back({rel, ss.str()});
     }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const FileInput& a, const FileInput& b) { return a.path < b.path; });
+  return files;
+}
+
+std::vector<Diagnostic> lint_tree(const std::string& repo_root) {
+  const std::vector<FileInput> files = read_tree(repo_root);
+  std::vector<Diagnostic> out;
+  std::vector<FileInput> src_files;
+
+  for (const FileInput& file : files) {
+    const std::vector<Diagnostic> diags = lint_file(file.path, file.content);
+    out.insert(out.end(), diags.begin(), diags.end());
+    if (starts_with(file.path, "src/")) src_files.push_back(file);
   }
   const std::vector<Diagnostic> graph_diags = lint_include_graph(src_files);
   out.insert(out.end(), graph_diags.begin(), graph_diags.end());
+  const std::vector<Diagnostic> indexed = lint_indexed(files);
+  out.insert(out.end(), indexed.begin(), indexed.end());
+  const std::vector<Diagnostic> leakage = lint_leakage_conformance(src_files);
+  out.insert(out.end(), leakage.begin(), leakage.end());
+
+  // doc/LEAKAGE.md drift gate: the checked-in matrix must match what the
+  // current schema ceilings + tactic tables generate.
+  {
+    const std::string expected = leakage_matrix_markdown(src_files);
+    const std::filesystem::path doc =
+        std::filesystem::path(repo_root) / "doc" / "LEAKAGE.md";
+    std::string actual;
+    if (std::filesystem::exists(doc)) {
+      std::ifstream in(doc, std::ios::binary);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      actual = ss.str();
+    }
+    if (actual != expected) {
+      out.push_back({"doc/LEAKAGE.md", 1, "leakage-conformance",
+                     actual.empty()
+                         ? "doc/LEAKAGE.md is missing; generate it with "
+                           "`dblint --emit-leakage-matrix`"
+                         : "doc/LEAKAGE.md is stale; regenerate with "
+                           "`dblint --emit-leakage-matrix`"});
+    }
+  }
 
   std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
     if (a.file != b.file) return a.file < b.file;

@@ -1,25 +1,36 @@
-// dblint — DataBlinder's in-repo secret-hygiene checker.
+// dblint — DataBlinder's in-repo static analyzer.
 //
-// A deliberately small, dependency-free lint pass (no libclang): a
-// token-level scan over src/ and tests/ plus an include-graph pass.
-// It exists to make the SecretBytes taint type (src/common/secret.hpp)
-// enforceable: the type system stops implicit conversions, dblint stops
-// the textual escape hatches (raw memcmp, logging a key, calling
-// expose_secret() outside the crypto kernel).
+// A deliberately small, dependency-free checker (no libclang): v1 is a
+// token-level scan over src/ and tests/ plus an include-graph pass; v2
+// adds a lightweight indexer (index.hpp) — one pass extracting function
+// definitions, call edges, RAII guard scopes and Status-returning
+// signatures into an in-memory fact base — and rules that query it.
+// It exists to make the repo's safety types enforceable: SecretBytes
+// (src/common/secret.hpp) gets its textual escape hatches closed, the
+// leakage-ceiling table (src/schema/leakage.hpp) gets machine-checked
+// against every tactic's declared profile, and [[nodiscard]] Status gets a
+// portable twin of -Wunused-result.
 //
 // Rules:
-//   ct-compare  (R1)  no memcmp/operator== on tag/key/token/mac buffers;
-//                     use ct_equal.
-//   rng         (R2)  DetRng/mt19937/rand() banned under src/crypto,
-//                     src/kms, src/ppe, src/sse, src/phe; SecureRng only.
-//   expose      (R3)  expose_secret() only in allowlisted crypto-kernel
-//                     files.
-//   log-secret  (R4)  no logging statement may receive SecretBytes
-//                     contents or key/secret-pattern identifiers.
-//   layering    (R5)  include layering: src/common must not include
-//                     src/core; core/tactics must not include crypto/
-//                     directly (reach it via the ppe/sse/phe surfaces);
-//                     no include cycles.
+//   ct-compare          (R1)  no memcmp/operator== on tag/key/token/mac
+//                             buffers; use ct_equal.
+//   rng                 (R2)  DetRng/mt19937/rand() banned under
+//                             src/crypto, src/kms, src/ppe, src/sse,
+//                             src/phe; SecureRng only.
+//   expose              (R3)  expose_secret() only in allowlisted
+//                             crypto-kernel files.
+//   log-secret          (R4)  no logging statement may receive SecretBytes
+//                             contents or key/secret-pattern identifiers.
+//   layering            (R5)  include layering + no include cycles.
+//   unchecked-status    (R6)  no discarded call to a Status/Result-
+//                             returning function (see passes.hpp).
+//   lock-discipline     (R7)  no raw .lock()/.unlock(); acyclic lock-order
+//                             graph from nested guard scopes.
+//   plaintext-egress    (R8)  plaintext-derived identifiers reach egress
+//                             calls only from allowlisted kernels.
+//   leakage-conformance (R9)  declared tactic leakage within the
+//                             schema/leakage.hpp ceilings; doc/LEAKAGE.md
+//                             in sync (see leakage_pass.hpp).
 //
 // Escape hatch: a finding on line N is suppressed when line N (or the
 // line immediately above) carries `// dblint:allow(<rule>): reason`.
@@ -42,6 +53,10 @@ struct Diagnostic {
 /// "file:line: [rule] message" — the CI-greppable form.
 std::string format(const Diagnostic& d);
 
+/// The same diagnostics as a JSON array (stable key order:
+/// file, line, rule, message) for tooling; `dblint --json`.
+std::string to_json(const std::vector<Diagnostic>& diagnostics);
+
 struct FileInput {
   std::string path;  // repo-relative, '/'-separated
   std::string content;
@@ -55,8 +70,17 @@ std::vector<Diagnostic> lint_file(const std::string& path, const std::string& co
 /// under src/).
 std::vector<Diagnostic> lint_include_graph(const std::vector<FileInput>& files);
 
-/// Walks `repo_root`/src and `repo_root`/tests for .hpp/.cpp files and
-/// runs every rule. Diagnostics come back sorted by file then line.
+/// Indexer-backed rules (R6–R8) over a set of files: builds the fact base
+/// (index.hpp) once, then runs unchecked-status, lock-discipline and
+/// plaintext-egress against it.
+std::vector<Diagnostic> lint_indexed(const std::vector<FileInput>& files);
+
+/// Every .hpp/.cpp under `repo_root`/src and `repo_root`/tests, paths
+/// repo-relative. The walk behind lint_tree and --emit-leakage-matrix.
+std::vector<FileInput> read_tree(const std::string& repo_root);
+
+/// Runs every rule (R1–R9) over the repo, including the doc/LEAKAGE.md
+/// drift check. Diagnostics come back sorted by file then line.
 std::vector<Diagnostic> lint_tree(const std::string& repo_root);
 
 }  // namespace dblint

@@ -1,20 +1,62 @@
-// dblint driver: `dblint [repo_root]` scans src/ and tests/, prints
-// file:line diagnostics, and exits nonzero when anything fires — wire it
-// straight into CI.
+// dblint driver.
+//
+//   dblint [--json] [repo_root]         run every pass; exit 1 on findings
+//   dblint --emit-leakage-matrix [root] regenerate doc/LEAKAGE.md from the
+//                                       schema ceilings + tactic tables
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
 
+#include "leakage_pass.hpp"
 #include "lint.hpp"
 
 int main(int argc, char** argv) {
-  const char* root = (argc > 1) ? argv[1] : ".";
+  bool json = false;
+  bool emit_matrix = false;
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--emit-leakage-matrix") == 0) {
+      emit_matrix = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::fprintf(stdout,
+                   "usage: dblint [--json] [--emit-leakage-matrix] [repo_root]\n");
+      return 0;
+    } else {
+      root = argv[i];
+    }
+  }
+
+  if (emit_matrix) {
+    const std::string matrix = dblint::leakage_matrix_markdown(dblint::read_tree(root));
+    const std::filesystem::path path = std::filesystem::path(root) / "doc" / "LEAKAGE.md";
+    std::filesystem::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << matrix;
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "dblint: cannot write %s\n", path.string().c_str());
+      return 1;
+    }
+    std::fprintf(stdout, "dblint: wrote %s\n", path.string().c_str());
+    return 0;
+  }
+
   const auto diagnostics = dblint::lint_tree(root);
-  for (const auto& d : diagnostics) {
-    std::fprintf(stderr, "%s\n", dblint::format(d).c_str());
+  if (json) {
+    std::fprintf(stdout, "%s", dblint::to_json(diagnostics).c_str());
+  } else {
+    for (const auto& d : diagnostics) {
+      std::fprintf(stderr, "%s\n", dblint::format(d).c_str());
+    }
   }
   if (!diagnostics.empty()) {
     std::fprintf(stderr, "dblint: %zu finding(s)\n", diagnostics.size());
     return 1;
   }
-  std::fprintf(stdout, "dblint: clean\n");
+  if (!json) std::fprintf(stdout, "dblint: clean\n");
   return 0;
 }

@@ -1,0 +1,214 @@
+#include "passes.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace dblint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// R6: unchecked-status
+// ---------------------------------------------------------------------------
+
+void unchecked_status_in_file(const FileIndex& file, const std::set<std::string>& statusy,
+                              std::vector<Diagnostic>* out) {
+  for (const FunctionInfo& fn : file.functions) {
+    for (const CallSite& call : fn.calls) {
+      if (!call.result_discarded || call.void_cast) continue;
+      if (statusy.count(call.callee) == 0) continue;
+      if (allowed(file.allows, call.line_index, "unchecked-status")) continue;
+      out->push_back({file.path, static_cast<int>(call.line_index + 1),
+                      "unchecked-status",
+                      "discarded result of Status-returning '" + call.callee +
+                          "' in " + fn.qualified +
+                          "; handle it, or discard explicitly with (void) and a "
+                          "reason comment"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R7: lock-discipline
+// ---------------------------------------------------------------------------
+
+bool is_raw_lock_method(const std::string& callee) {
+  return callee == "lock" || callee == "unlock" || callee == "try_lock" ||
+         callee == "try_lock_for" || callee == "try_lock_until";
+}
+
+struct EdgeWitness {
+  std::string file;
+  std::size_t line_index = 0;
+  std::string function;
+};
+
+void report_lock_cycles(
+    const std::map<std::string, std::map<std::string, EdgeWitness>>& graph,
+    std::vector<Diagnostic>* out) {
+  // DFS with colors over mutex nodes; each back edge is one cycle report,
+  // anchored at the witness site of the closing edge.
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> path;
+  std::set<std::string> reported;
+
+  struct Frame {
+    std::string node;
+    std::map<std::string, EdgeWitness>::const_iterator next, end;
+  };
+
+  for (const auto& [start, unused] : graph) {
+    (void)unused;
+    if (color[start] != 0) continue;
+    std::vector<Frame> stack;
+    const auto& first_children = graph.at(start);
+    stack.push_back({start, first_children.begin(), first_children.end()});
+    color[start] = 1;
+    path.push_back(start);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next != frame.end) {
+        const std::string& child = frame.next->first;
+        const EdgeWitness& witness = frame.next->second;
+        ++frame.next;
+        if (color[child] == 1) {
+          auto at = std::find(path.begin(), path.end(), child);
+          std::ostringstream cycle;
+          for (auto p = at; p != path.end(); ++p) cycle << *p << " -> ";
+          cycle << child;
+          if (reported.insert(cycle.str()).second) {
+            out->push_back({witness.file, static_cast<int>(witness.line_index + 1),
+                            "lock-discipline",
+                            "lock-order cycle: " + cycle.str() + " (closing edge in " +
+                                witness.function + ")"});
+          }
+        } else if (color[child] == 0) {
+          color[child] = 1;
+          path.push_back(child);
+          static const std::map<std::string, EdgeWitness> kNone;
+          const auto it = graph.find(child);
+          const auto& children = (it != graph.end()) ? it->second : kNone;
+          stack.push_back({child, children.begin(), children.end()});
+        }
+      } else {
+        color[frame.node] = 2;
+        path.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R8: plaintext-egress
+// ---------------------------------------------------------------------------
+
+bool is_egress_callee(const std::string& callee) {
+  return callee == "call" || callee == "send_batch" ||
+         callee == "transfer_request" || callee == "transfer_response";
+}
+
+/// The files entitled to put plaintext-derived identifiers on the wire:
+/// tactic kernels seal their own payloads (everything they send is already
+/// a label/ciphertext, and the leakage table owns what they reveal), the
+/// rpc/channel implementation moves opaque bytes, and workload/ is the
+/// simulated *client* — plaintext is its job.
+bool egress_allowlisted(const std::string& path) {
+  if (starts_with(path, "src/core/tactics/")) return true;
+  if (starts_with(path, "src/workload/")) return true;
+  if (path == "src/net/rpc.cpp" || path == "src/net/channel.cpp") return true;
+  return false;
+}
+
+/// Case-sensitive: the `Value(` wire-constructor is allowed (it wraps
+/// already-sealed bytes as often as not), `enc_value` / `plaintext` are
+/// not.
+bool is_plaintext_ident(const std::string& ident) {
+  static const std::set<std::string> kAccessors = {
+      "as_string", "as_int", "as_double", "as_bool", "scalar_bytes",
+      "expose_secret"};
+  if (kAccessors.count(ident) > 0) return true;
+  static const std::set<std::string> kSegments = {"plaintext", "cleartext", "value",
+                                                  "secret"};
+  std::size_t start = 0;
+  while (start <= ident.size()) {
+    const std::size_t us = ident.find('_', start);
+    const std::string seg =
+        ident.substr(start, (us == std::string::npos ? ident.size() : us) - start);
+    if (kSegments.count(seg) > 0) return true;
+    if (us == std::string::npos) break;
+    start = us + 1;
+  }
+  return false;
+}
+
+void plaintext_egress_in_file(const FileIndex& file, std::vector<Diagnostic>* out) {
+  if (!starts_with(file.path, "src/") || egress_allowlisted(file.path)) return;
+  for (const FunctionInfo& fn : file.functions) {
+    for (const CallSite& call : fn.calls) {
+      if (!call.member_call || !is_egress_callee(call.callee)) continue;
+      for (std::size_t k = call.callee_token + 2; k < call.close_token; ++k) {
+        const Token& t = file.tokens[k];
+        if (!t.is_ident || !is_plaintext_ident(t.text)) continue;
+        if (!allowed(file.allows, call.line_index, "plaintext-egress") &&
+            !allowed(file.allows, t.line_index, "plaintext-egress")) {
+          out->push_back({file.path, static_cast<int>(t.line_index + 1),
+                          "plaintext-egress",
+                          "plaintext-derived identifier '" + t.text +
+                              "' flows into egress call '" + call.callee + "' in " +
+                              fn.qualified +
+                              "; seal the payload in a tactic kernel first"});
+        }
+        break;  // one finding per call site
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_unchecked_status(const RepoIndex& index) {
+  std::vector<Diagnostic> out;
+  for (const FileIndex& file : index.files) {
+    unchecked_status_in_file(file, index.status_returning, &out);
+  }
+  return out;
+}
+
+std::vector<Diagnostic> check_lock_discipline(const RepoIndex& index) {
+  std::vector<Diagnostic> out;
+  std::map<std::string, std::map<std::string, EdgeWitness>> graph;
+  for (const FileIndex& file : index.files) {
+    for (const FunctionInfo& fn : file.functions) {
+      for (const CallSite& call : fn.calls) {
+        if (!call.member_call || !is_raw_lock_method(call.callee)) continue;
+        if (allowed(file.allows, call.line_index, "lock-discipline")) continue;
+        out.push_back({file.path, static_cast<int>(call.line_index + 1),
+                       "lock-discipline",
+                       "raw ." + call.callee + "() on '" + call.chain_head + "' in " +
+                           fn.qualified +
+                           "; use a scoped RAII guard (std::lock_guard / "
+                           "std::scoped_lock)"});
+      }
+      for (const LockEdge& edge : fn.lock_edges) {
+        if (allowed(file.allows, edge.line_index, "lock-discipline")) continue;
+        auto& slot = graph[edge.from][edge.to];
+        if (slot.file.empty()) {
+          slot = {file.path, edge.line_index, fn.qualified};
+        }
+      }
+    }
+  }
+  report_lock_cycles(graph, &out);
+  return out;
+}
+
+std::vector<Diagnostic> check_plaintext_egress(const RepoIndex& index) {
+  std::vector<Diagnostic> out;
+  for (const FileIndex& file : index.files) {
+    plaintext_egress_in_file(file, &out);
+  }
+  return out;
+}
+
+}  // namespace dblint

@@ -1,0 +1,29 @@
+// Indexer-backed rules (dblint v2):
+//
+//   unchecked-status   (R6)  a statement-position call to a function whose
+//                            declared return type is Status / Result<...>
+//                            must consume the value; `(void)` marks a
+//                            deliberate discard.
+//   lock-discipline    (R7)  raw .lock()/.unlock()/.try_lock() is banned —
+//                            RAII guards only — and the lock-order graph
+//                            built from nested guard scopes must be
+//                            acyclic.
+//   plaintext-egress   (R8)  outside the tactic kernel and net/workload
+//                            allowlist, no plaintext/doc::Value-derived
+//                            identifier may appear in the arguments of an
+//                            egress call (RpcClient::call / send_batch,
+//                            Channel::transfer_*).
+#pragma once
+
+#include <vector>
+
+#include "index.hpp"
+#include "lint.hpp"
+
+namespace dblint {
+
+std::vector<Diagnostic> check_unchecked_status(const RepoIndex& index);
+std::vector<Diagnostic> check_lock_discipline(const RepoIndex& index);
+std::vector<Diagnostic> check_plaintext_egress(const RepoIndex& index);
+
+}  // namespace dblint

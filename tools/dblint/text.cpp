@@ -1,0 +1,197 @@
+#include "text.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dblint {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string strip_comments_and_strings(const std::string& text, bool keep_strings) {
+  std::string out = text;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = (i + 1 < out.size()) ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+          if (!keep_strings) out[i] = ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          if (!keep_strings) out[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          if (!keep_strings) out[i] = ' ';
+          if (next != '\n' && next != '\0') {
+            if (!keep_strings) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          if (!keep_strings) out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          if (!keep_strings) out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          if (!keep_strings) out[i] = ' ';
+          if (next != '\n' && next != '\0') {
+            if (!keep_strings) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          if (!keep_strings) out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          if (!keep_strings) out[i] = ' ';
+        }
+      }
+  }
+  return out;
+}
+
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  std::size_t line = 0;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (is_ident_char(c)) {
+      std::size_t j = i;
+      while (j < text.size() && is_ident_char(text[j])) ++j;
+      tokens.push_back({text.substr(i, j - i), true, false, line});
+      i = j;
+      continue;
+    }
+    // String/char literals survive only when the input kept them (the
+    // leakage parser); emit the content as one token, quotes removed.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string content;
+      while (j < text.size() && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < text.size()) ++j;  // keep escaped char
+        content.push_back(text[j]);
+        ++j;
+      }
+      tokens.push_back({content, false, true, line});
+      i = (j < text.size()) ? j + 1 : j;
+      continue;
+    }
+    // Two-char operators we care about; everything else is single-char.
+    if (i + 1 < text.size()) {
+      const std::string two = text.substr(i, 2);
+      if (two == "==" || two == "!=" || two == "->" || two == "<=" || two == ">=" ||
+          two == "&&" || two == "||" || two == "<<" || two == ">>" || two == "::") {
+        tokens.push_back({two, false, false, line});
+        i += 2;
+        continue;
+      }
+    }
+    tokens.push_back({std::string(1, c), false, false, line});
+    ++i;
+  }
+  return tokens;
+}
+
+std::vector<std::set<std::string>> collect_allows(const std::vector<std::string>& raw_lines) {
+  std::vector<std::set<std::string>> allows(raw_lines.size());
+  const std::string marker = "dblint:allow(";
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& line = raw_lines[i];
+    std::size_t pos = 0;
+    while ((pos = line.find(marker, pos)) != std::string::npos) {
+      const std::size_t start = pos + marker.size();
+      const std::size_t close = line.find(')', start);
+      if (close == std::string::npos) break;
+      const std::string rule = line.substr(start, close - start);
+      allows[i].insert(rule);
+      if (i + 1 < raw_lines.size()) allows[i + 1].insert(rule);
+      pos = close;
+    }
+  }
+  return allows;
+}
+
+bool allowed(const std::vector<std::set<std::string>>& allows, std::size_t line_index,
+             const std::string& rule) {
+  return line_index < allows.size() && allows[line_index].count(rule) > 0;
+}
+
+std::string last_segment(const std::string& ident) {
+  std::string s = ident;
+  while (!s.empty() && (s.back() == '_' || std::isdigit(static_cast<unsigned char>(s.back())))) {
+    s.pop_back();
+  }
+  const std::size_t pos = s.rfind('_');
+  std::string seg = (pos == std::string::npos) ? s : s.substr(pos + 1);
+  std::transform(seg.begin(), seg.end(), seg.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return seg;
+}
+
+}  // namespace dblint

@@ -1,0 +1,50 @@
+// dblint text layer — the lexing substrate shared by the token rules
+// (lint.cpp), the indexer (index.cpp) and the leakage-table parser
+// (leakage_pass.cpp). Deliberately tiny: comment/string stripping that
+// preserves line numbers, a whole-file tokenizer, and the
+// `dblint:allow(<rule>)` escape-marker scanner.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dblint {
+
+bool starts_with(const std::string& s, const std::string& prefix);
+bool ends_with(const std::string& s, const std::string& suffix);
+
+std::vector<std::string> split_lines(const std::string& text);
+
+bool is_ident_char(char c);
+
+/// Replaces comments — and, unless `keep_strings`, string/char literals —
+/// with spaces so token rules never fire on prose. Newlines survive, so
+/// line numbers hold. The leakage-table parser keeps strings because
+/// descriptor names live in them (`t.name = "DET"`).
+std::string strip_comments_and_strings(const std::string& text, bool keep_strings = false);
+
+struct Token {
+  std::string text;
+  bool is_ident = false;
+  bool is_string = false;      // literal content, quotes removed
+  std::size_t line_index = 0;  // 0-based
+};
+
+/// Whole-file token stream with line numbers: identifiers, string/char
+/// literals (only present when the input kept them), the two-char
+/// operators the rules care about, and single characters.
+std::vector<Token> tokenize(const std::string& text);
+
+/// Per-line rule sets from `// dblint:allow(<rule>): reason` markers; a
+/// marker suppresses its rule on its own line and the line below.
+std::vector<std::set<std::string>> collect_allows(const std::vector<std::string>& raw_lines);
+
+bool allowed(const std::vector<std::set<std::string>>& allows, std::size_t line_index,
+             const std::string& rule);
+
+/// Last '_'-separated segment of an identifier, trailing underscores and
+/// digits stripped and lowercased: "prf_key_" -> "key".
+std::string last_segment(const std::string& ident);
+
+}  // namespace dblint
