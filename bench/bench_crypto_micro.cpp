@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bigint/bigint.hpp"
+#include "bigint/montgomery.hpp"
 #include "common/rng.hpp"
 #include "crypto/gcm.hpp"
 #include "crypto/hmac.hpp"
@@ -41,6 +42,18 @@ void BM_HmacSha256(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_HmacSha256)->Arg(32)->Arg(1024);
+
+void BM_PrfKeyHoisted(benchmark::State& state) {
+  // Same MAC through a PrfKey: the key schedule and ipad/opad compressions
+  // are paid once at construction instead of per call.
+  const crypto::PrfKey key(Bytes(32, 1));
+  const Bytes data = DetRng(2).bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.prf(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PrfKeyHoisted)->Arg(32)->Arg(1024);
 
 void BM_AesGcmSeal(benchmark::State& state) {
   const crypto::AesGcm gcm(Bytes(32, 1));
@@ -193,6 +206,21 @@ void BM_PaillierEncrypt(benchmark::State& state) {
 }
 BENCHMARK(BM_PaillierEncrypt)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
 
+void BM_PaillierEncryptPooled(benchmark::State& state) {
+  // Steady-state hot path with the randomizer pool attached: the r^n
+  // exponentiation moves to the background worker, leaving two modmuls.
+  phe::PaillierKeyPair kp =
+      phe::paillier_generate(static_cast<std::size_t>(state.range(0)));
+  kp.pub.init_fast_paths(/*pool_low_water=*/64);
+  std::int64_t v = 630;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.pub.encrypt_i64(v++));
+  }
+  state.counters["pool_hits"] = static_cast<double>(kp.pub.pool->hits());
+  state.counters["pool_misses"] = static_cast<double>(kp.pub.pool->misses());
+}
+BENCHMARK(BM_PaillierEncryptPooled)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+
 void BM_PaillierAdd(benchmark::State& state) {
   const phe::PaillierKeyPair kp = phe::paillier_generate(512);
   const BigInt c1 = kp.pub.encrypt_i64(100);
@@ -204,6 +232,7 @@ void BM_PaillierAdd(benchmark::State& state) {
 BENCHMARK(BM_PaillierAdd);
 
 void BM_PaillierDecrypt(benchmark::State& state) {
+  // CRT path (keygen retains p/q and initializes the residue system).
   const phe::PaillierKeyPair kp =
       phe::paillier_generate(static_cast<std::size_t>(state.range(0)));
   const BigInt c = kp.pub.encrypt_i64(123456);
@@ -213,9 +242,22 @@ void BM_PaillierDecrypt(benchmark::State& state) {
 }
 BENCHMARK(BM_PaillierDecrypt)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
 
+void BM_PaillierDecryptGeneric(benchmark::State& state) {
+  // Reference lambda/mu exponentiation mod n^2 — the pre-CRT cost.
+  const phe::PaillierKeyPair kp =
+      phe::paillier_generate(static_cast<std::size_t>(state.range(0)));
+  const BigInt c = kp.pub.encrypt_i64(123456);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.priv.decrypt_generic(c));
+  }
+}
+BENCHMARK(BM_PaillierDecryptGeneric)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+
 void BM_BigIntModExp(benchmark::State& state) {
+  // Auto-dispatch entry point (odd modulus -> transient Montgomery context).
   const std::size_t bits = static_cast<std::size_t>(state.range(0));
-  const BigInt m = BigInt::random_bits(bits);
+  BigInt m = BigInt::random_bits(bits);
+  if (m.is_even()) m += BigInt(1);
   const BigInt base = BigInt::random_below(m);
   const BigInt exp = BigInt::random_bits(bits);
   for (auto _ : state) {
@@ -223,6 +265,34 @@ void BM_BigIntModExp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BigIntModExp)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_BigIntModExpGeneric(benchmark::State& state) {
+  // Reference square-and-multiply over Knuth-D division (the before-series).
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  BigInt m = BigInt::random_bits(bits);
+  if (m.is_even()) m += BigInt(1);
+  const BigInt base = BigInt::random_below(m);
+  const BigInt exp = BigInt::random_bits(bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.pow_mod_generic(exp, m));
+  }
+}
+BENCHMARK(BM_BigIntModExpGeneric)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_BigIntModExpMontgomery(benchmark::State& state) {
+  // Caller-held context: what Paillier/Sophos/ElGamal pay per operation
+  // once the per-modulus precomputation is amortized away.
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  BigInt m = BigInt::random_bits(bits);
+  if (m.is_even()) m += BigInt(1);
+  const bigint::Montgomery ctx(m);
+  const BigInt base = BigInt::random_below(m);
+  const BigInt exp = BigInt::random_bits(bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.pow_mod(exp, ctx));
+  }
+}
+BENCHMARK(BM_BigIntModExpMontgomery)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -29,6 +29,7 @@ struct Rig {
       : rpc(cloud.rpc(), channel),
         gateway(rpc, kms, local, registry,
                 core::GatewayConfig{{{"paillier_modulus_bits", "512"},
+                                     {"paillier_pool", "8"},
                                      {"sophos_modulus_bits", "768"}}}) {}
   core::CloudNode cloud;
   net::Channel channel;

@@ -4,32 +4,30 @@
 #include <bit>
 #include <cassert>
 
+#include "bigint/montgomery.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 
 namespace datablinder::bigint {
 
 namespace {
-constexpr std::uint64_t kBase = 1ULL << 32;
-}
+using U128 = unsigned __int128;
+using I128 = __int128;
+constexpr std::uint64_t kLimbMask = ~0ULL;
+constexpr unsigned kLimbBits = 64;
+}  // namespace
 
 BigInt::BigInt(std::int64_t v) {
   negative_ = v < 0;
   // Avoid UB on INT64_MIN by negating in unsigned space.
-  std::uint64_t mag = negative_ ? ~static_cast<std::uint64_t>(v) + 1
-                                : static_cast<std::uint64_t>(v);
-  while (mag != 0) {
-    limbs_.push_back(static_cast<std::uint32_t>(mag & 0xffffffffULL));
-    mag >>= 32;
-  }
+  const std::uint64_t mag = negative_ ? ~static_cast<std::uint64_t>(v) + 1
+                                      : static_cast<std::uint64_t>(v);
+  if (mag != 0) limbs_.push_back(mag);
   if (limbs_.empty()) negative_ = false;
 }
 
 BigInt::BigInt(std::uint64_t v) {
-  while (v != 0) {
-    limbs_.push_back(static_cast<std::uint32_t>(v & 0xffffffffULL));
-    v >>= 32;
-  }
+  if (v != 0) limbs_.push_back(v);
 }
 
 void BigInt::trim() noexcept {
@@ -72,12 +70,11 @@ BigInt BigInt::from_hex(std::string_view s) {
 BigInt BigInt::from_bytes(BytesView b) {
   BigInt out;
   const std::size_t n = b.size();
-  out.limbs_.resize((n + 3) / 4, 0);
+  out.limbs_.resize((n + 7) / 8, 0);
   for (std::size_t i = 0; i < n; ++i) {
     // b[0] is the most significant byte.
     const std::size_t byte_index = n - 1 - i;  // position from LSB
-    out.limbs_[byte_index / 4] |= static_cast<std::uint32_t>(b[i])
-                                  << (8 * (byte_index % 4));
+    out.limbs_[byte_index / 8] |= static_cast<Limb>(b[i]) << (8 * (byte_index % 8));
   }
   out.trim();
   return out;
@@ -91,9 +88,9 @@ Bytes BigInt::to_bytes(std::size_t min_len) const {
   Bytes out(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t byte_index = i;  // from LSB
-    const std::size_t limb = byte_index / 4;
+    const std::size_t limb = byte_index / 8;
     if (limb < limbs_.size()) {
-      out[n - 1 - i] = static_cast<std::uint8_t>(limbs_[limb] >> (8 * (byte_index % 4)));
+      out[n - 1 - i] = static_cast<std::uint8_t>(limbs_[limb] >> (8 * (byte_index % 8)));
     }
   }
   return out;
@@ -127,7 +124,7 @@ std::string BigInt::to_hex() const {
   std::string out = negative_ ? "-" : "";
   bool leading = true;
   for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
-    for (int shift = 28; shift >= 0; shift -= 4) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
       const unsigned nib = (*it >> shift) & 0xf;
       if (leading && nib == 0) continue;
       leading = false;
@@ -139,30 +136,25 @@ std::string BigInt::to_hex() const {
 
 std::size_t BigInt::bit_length() const noexcept {
   if (limbs_.empty()) return 0;
-  return 32 * (limbs_.size() - 1) +
-         (32 - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
+  return kLimbBits * (limbs_.size() - 1) +
+         (kLimbBits - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
 }
 
 bool BigInt::bit(std::size_t i) const noexcept {
-  const std::size_t limb = i / 32;
+  const std::size_t limb = i / kLimbBits;
   if (limb >= limbs_.size()) return false;
-  return (limbs_[limb] >> (i % 32)) & 1;
+  return (limbs_[limb] >> (i % kLimbBits)) & 1;
 }
 
 std::uint64_t BigInt::to_u64() const {
   require(!negative_, "BigInt::to_u64: negative");
-  require(limbs_.size() <= 2, "BigInt::to_u64: overflow");
-  std::uint64_t v = 0;
-  if (limbs_.size() > 1) v = static_cast<std::uint64_t>(limbs_[1]) << 32;
-  if (!limbs_.empty()) v |= limbs_[0];
-  return v;
+  require(limbs_.size() <= 1, "BigInt::to_u64: overflow");
+  return limbs_.empty() ? 0 : limbs_[0];
 }
 
 std::int64_t BigInt::to_i64() const {
-  const std::uint64_t mag =
-      (limbs_.size() > 1 ? (static_cast<std::uint64_t>(limbs_[1]) << 32) : 0) |
-      (limbs_.empty() ? 0 : limbs_[0]);
-  require(limbs_.size() <= 2, "BigInt::to_i64: overflow");
+  require(limbs_.size() <= 1, "BigInt::to_i64: overflow");
+  const std::uint64_t mag = limbs_.empty() ? 0 : limbs_[0];
   if (negative_) {
     require(mag <= static_cast<std::uint64_t>(INT64_MAX) + 1, "BigInt::to_i64: overflow");
     return -static_cast<std::int64_t>(mag - 1) - 1;
@@ -171,8 +163,7 @@ std::int64_t BigInt::to_i64() const {
   return static_cast<std::int64_t>(mag);
 }
 
-int BigInt::cmp_mag(const std::vector<std::uint32_t>& a,
-                    const std::vector<std::uint32_t>& b) noexcept {
+int BigInt::cmp_mag(const std::vector<Limb>& a, const std::vector<Limb>& b) noexcept {
   if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
   for (std::size_t i = a.size(); i-- > 0;) {
     if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
@@ -180,65 +171,61 @@ int BigInt::cmp_mag(const std::vector<std::uint32_t>& a,
   return 0;
 }
 
-std::vector<std::uint32_t> BigInt::add_mag(const std::vector<std::uint32_t>& a,
-                                           const std::vector<std::uint32_t>& b) {
+std::vector<BigInt::Limb> BigInt::add_mag(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b) {
   const auto& big = a.size() >= b.size() ? a : b;
   const auto& small = a.size() >= b.size() ? b : a;
-  std::vector<std::uint32_t> out(big.size() + 1, 0);
-  std::uint64_t carry = 0;
+  std::vector<Limb> out(big.size() + 1, 0);
+  U128 carry = 0;
   for (std::size_t i = 0; i < big.size(); ++i) {
-    std::uint64_t sum = carry + big[i] + (i < small.size() ? small[i] : 0);
-    out[i] = static_cast<std::uint32_t>(sum & 0xffffffffULL);
-    carry = sum >> 32;
+    const U128 sum = carry + big[i] + (i < small.size() ? small[i] : 0);
+    out[i] = static_cast<Limb>(sum);
+    carry = sum >> kLimbBits;
   }
-  out[big.size()] = static_cast<std::uint32_t>(carry);
+  out[big.size()] = static_cast<Limb>(carry);
   while (!out.empty() && out.back() == 0) out.pop_back();
   return out;
 }
 
-std::vector<std::uint32_t> BigInt::sub_mag(const std::vector<std::uint32_t>& a,
-                                           const std::vector<std::uint32_t>& b) {
+std::vector<BigInt::Limb> BigInt::sub_mag(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b) {
   assert(cmp_mag(a, b) >= 0);
-  std::vector<std::uint32_t> out(a.size(), 0);
-  std::int64_t borrow = 0;
+  std::vector<Limb> out(a.size(), 0);
+  Limb borrow = 0;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
-                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
-    if (diff < 0) {
-      diff += static_cast<std::int64_t>(kBase);
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    out[i] = static_cast<std::uint32_t>(diff);
+    const Limb bi = i < b.size() ? b[i] : 0;
+    const Limb ai = a[i];
+    const Limb diff = ai - bi - borrow;
+    // Borrow iff a < b + borrow in full precision.
+    borrow = (ai < bi) || (ai == bi && borrow) ? 1 : 0;
+    out[i] = diff;
   }
   while (!out.empty() && out.back() == 0) out.pop_back();
   return out;
 }
 
-std::vector<std::uint32_t> BigInt::mul_mag(const std::vector<std::uint32_t>& a,
-                                           const std::vector<std::uint32_t>& b) {
+std::vector<BigInt::Limb> BigInt::mul_mag(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b) {
   if (a.empty() || b.empty()) return {};
-  std::vector<std::uint32_t> out(a.size() + b.size(), 0);
+  std::vector<Limb> out(a.size() + b.size(), 0);
   for (std::size_t i = 0; i < a.size(); ++i) {
-    std::uint64_t carry = 0;
-    const std::uint64_t ai = a[i];
+    U128 carry = 0;
+    const U128 ai = a[i];
     for (std::size_t j = 0; j < b.size(); ++j) {
-      std::uint64_t cur = out[i + j] + ai * b[j] + carry;
-      out[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffULL);
-      carry = cur >> 32;
+      const U128 cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<Limb>(cur);
+      carry = cur >> kLimbBits;
     }
-    out[i + b.size()] += static_cast<std::uint32_t>(carry);
+    out[i + b.size()] += static_cast<Limb>(carry);
   }
   while (!out.empty() && out.back() == 0) out.pop_back();
   return out;
 }
 
-// Knuth TAOCP vol. 2, Algorithm 4.3.1 D.
-void BigInt::div_mag(const std::vector<std::uint32_t>& num,
-                     const std::vector<std::uint32_t>& den,
-                     std::vector<std::uint32_t>& quot,
-                     std::vector<std::uint32_t>& rem) {
+// Knuth TAOCP vol. 2, Algorithm 4.3.1 D, over 64-bit limbs with 128-bit
+// intermediates.
+void BigInt::div_mag(const std::vector<Limb>& num, const std::vector<Limb>& den,
+                     std::vector<Limb>& quot, std::vector<Limb>& rem) {
   quot.clear();
   rem.clear();
   if (den.empty()) throw_error(ErrorCode::kInvalidArgument, "BigInt: division by zero");
@@ -249,16 +236,16 @@ void BigInt::div_mag(const std::vector<std::uint32_t>& num,
 
   // Single-limb fast path.
   if (den.size() == 1) {
-    const std::uint64_t d = den[0];
+    const Limb d = den[0];
     quot.assign(num.size(), 0);
-    std::uint64_t r = 0;
+    Limb r = 0;
     for (std::size_t i = num.size(); i-- > 0;) {
-      const std::uint64_t cur = (r << 32) | num[i];
-      quot[i] = static_cast<std::uint32_t>(cur / d);
-      r = cur % d;
+      const U128 cur = (static_cast<U128>(r) << kLimbBits) | num[i];
+      quot[i] = static_cast<Limb>(cur / d);
+      r = static_cast<Limb>(cur % d);
     }
     while (!quot.empty() && quot.back() == 0) quot.pop_back();
-    if (r != 0) rem.push_back(static_cast<std::uint32_t>(r));
+    if (r != 0) rem.push_back(r);
     return;
   }
 
@@ -267,67 +254,66 @@ void BigInt::div_mag(const std::vector<std::uint32_t>& num,
 
   // D1: normalize so the divisor's top limb has its high bit set.
   const unsigned shift = static_cast<unsigned>(std::countl_zero(den.back()));
-  std::vector<std::uint32_t> v(n);
+  std::vector<Limb> v(n);
   for (std::size_t i = n; i-- > 0;) {
     v[i] = den[i] << shift;
-    if (shift && i > 0) v[i] |= den[i - 1] >> (32 - shift);
+    if (shift && i > 0) v[i] |= den[i - 1] >> (kLimbBits - shift);
   }
-  std::vector<std::uint32_t> u(num.size() + 1, 0);
-  u[num.size()] = shift ? (num.back() >> (32 - shift)) : 0;
+  std::vector<Limb> u(num.size() + 1, 0);
+  u[num.size()] = shift ? (num.back() >> (kLimbBits - shift)) : 0;
   for (std::size_t i = num.size(); i-- > 0;) {
     u[i] = num[i] << shift;
-    if (shift && i > 0) u[i] |= num[i - 1] >> (32 - shift);
+    if (shift && i > 0) u[i] |= num[i - 1] >> (kLimbBits - shift);
   }
 
   quot.assign(m + 1, 0);
-  const std::uint64_t v_top = v[n - 1];
-  const std::uint64_t v_second = v[n - 2];
+  const Limb v_top = v[n - 1];
+  const Limb v_second = v[n - 2];
 
   // D2..D7: main loop.
   for (std::size_t j = m + 1; j-- > 0;) {
-    // D3: estimate q_hat.
-    const std::uint64_t numerator = (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
-    std::uint64_t q_hat = numerator / v_top;
-    std::uint64_t r_hat = numerator % v_top;
-    while (q_hat >= kBase ||
-           q_hat * v_second > ((r_hat << 32) | u[j + n - 2])) {
+    // D3: estimate q_hat. The `q_hat >= base` disjunct short-circuits, so
+    // the 64x64 products below never see a q_hat wider than one limb.
+    const U128 numerator = (static_cast<U128>(u[j + n]) << kLimbBits) | u[j + n - 1];
+    U128 q_hat = numerator / v_top;
+    U128 r_hat = numerator % v_top;
+    while (q_hat > kLimbMask ||
+           static_cast<U128>(static_cast<Limb>(q_hat)) * v_second >
+               ((r_hat << kLimbBits) | u[j + n - 2])) {
       --q_hat;
       r_hat += v_top;
-      if (r_hat >= kBase) break;
+      if (r_hat > kLimbMask) break;
     }
 
     // D4: multiply and subtract u[j..j+n] -= q_hat * v.
-    std::int64_t borrow = 0;
-    std::uint64_t carry = 0;
+    const Limb qh = static_cast<Limb>(q_hat);
+    Limb mul_carry = 0;
+    Limb borrow = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      const std::uint64_t p = q_hat * v[i] + carry;
-      carry = p >> 32;
-      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
-                          static_cast<std::int64_t>(p & 0xffffffffULL) - borrow;
-      if (diff < 0) {
-        diff += static_cast<std::int64_t>(kBase);
-        borrow = 1;
-      } else {
-        borrow = 0;
-      }
-      u[i + j] = static_cast<std::uint32_t>(diff);
+      const U128 p = static_cast<U128>(qh) * v[i] + mul_carry;
+      mul_carry = static_cast<Limb>(p >> kLimbBits);
+      const Limb pl = static_cast<Limb>(p);
+      const Limb ui = u[i + j];
+      const Limb diff = ui - pl - borrow;
+      borrow = (ui < pl) || (ui == pl && borrow) ? 1 : 0;
+      u[i + j] = diff;
     }
-    std::int64_t top = static_cast<std::int64_t>(u[j + n]) -
-                       static_cast<std::int64_t>(carry) - borrow;
+    I128 top = static_cast<I128>(u[j + n]) - static_cast<I128>(mul_carry) -
+               static_cast<I128>(borrow);
 
     // D5/D6: if we subtracted too much, add back one divisor.
     if (top < 0) {
       --q_hat;
-      std::uint64_t c = 0;
+      U128 c = 0;
       for (std::size_t i = 0; i < n; ++i) {
-        const std::uint64_t sum = static_cast<std::uint64_t>(u[i + j]) + v[i] + c;
-        u[i + j] = static_cast<std::uint32_t>(sum & 0xffffffffULL);
-        c = sum >> 32;
+        const U128 sum = static_cast<U128>(u[i + j]) + v[i] + c;
+        u[i + j] = static_cast<Limb>(sum);
+        c = sum >> kLimbBits;
       }
-      top += static_cast<std::int64_t>(c);
+      top += static_cast<I128>(c);
     }
-    u[j + n] = static_cast<std::uint32_t>(top);
-    quot[j] = static_cast<std::uint32_t>(q_hat);
+    u[j + n] = static_cast<Limb>(top);
+    quot[j] = static_cast<Limb>(q_hat);
   }
 
   while (!quot.empty() && quot.back() == 0) quot.pop_back();
@@ -336,7 +322,7 @@ void BigInt::div_mag(const std::vector<std::uint32_t>& num,
   rem.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     rem[i] = u[i] >> shift;
-    if (shift && i + 1 < u.size()) rem[i] |= u[i + 1] << (32 - shift);
+    if (shift && i + 1 < u.size()) rem[i] |= u[i + 1] << (kLimbBits - shift);
   }
   while (!rem.empty() && rem.back() == 0) rem.pop_back();
 }
@@ -399,14 +385,14 @@ BigInt BigInt::operator%(const BigInt& rhs) const {
 
 BigInt BigInt::operator<<(std::size_t bits) const {
   if (is_zero() || bits == 0) return *this;
-  const std::size_t limb_shift = bits / 32;
-  const unsigned bit_shift = bits % 32;
+  const std::size_t limb_shift = bits / kLimbBits;
+  const unsigned bit_shift = bits % kLimbBits;
   BigInt out;
   out.negative_ = negative_;
   out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
     out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
-    if (bit_shift) out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (32 - bit_shift);
+    if (bit_shift) out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (kLimbBits - bit_shift);
   }
   out.trim();
   return out;
@@ -414,8 +400,8 @@ BigInt BigInt::operator<<(std::size_t bits) const {
 
 BigInt BigInt::operator>>(std::size_t bits) const {
   if (is_zero() || bits == 0) return *this;
-  const std::size_t limb_shift = bits / 32;
-  const unsigned bit_shift = bits % 32;
+  const std::size_t limb_shift = bits / kLimbBits;
+  const unsigned bit_shift = bits % kLimbBits;
   if (limb_shift >= limbs_.size()) return BigInt();
   BigInt out;
   out.negative_ = negative_;
@@ -423,7 +409,7 @@ BigInt BigInt::operator>>(std::size_t bits) const {
   for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
     out.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
     if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
-      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (32 - bit_shift);
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (kLimbBits - bit_shift);
     }
   }
   out.trim();
@@ -459,7 +445,11 @@ BigInt BigInt::mul_mod(const BigInt& rhs, const BigInt& m) const {
   return (*this * rhs).mod(m);
 }
 
-BigInt BigInt::pow_mod(const BigInt& exp, const BigInt& m) const {
+BigInt BigInt::mul_mod(const BigInt& rhs, const Montgomery& ctx) const {
+  return ctx.mul(*this, rhs);
+}
+
+BigInt BigInt::pow_mod_generic(const BigInt& exp, const BigInt& m) const {
   require(!exp.is_negative(), "BigInt::pow_mod: negative exponent");
   require(!m.is_zero() && !m.is_negative(), "BigInt::pow_mod: bad modulus");
   if (m == BigInt(1)) return BigInt();
@@ -471,6 +461,23 @@ BigInt BigInt::pow_mod(const BigInt& exp, const BigInt& m) const {
     if (exp.bit(i)) result = result.mul_mod(base, m);
   }
   return result;
+}
+
+BigInt BigInt::pow_mod(const BigInt& exp, const BigInt& m) const {
+  require(!exp.is_negative(), "BigInt::pow_mod: negative exponent");
+  require(!m.is_zero() && !m.is_negative(), "BigInt::pow_mod: bad modulus");
+  if (m == BigInt(1)) return BigInt();
+  // Odd moduli (every cryptographic modulus: RSA/Paillier n, safe primes)
+  // take the Montgomery path; a transient context still wins for any
+  // multi-squaring exponent. Even moduli cannot be Montgomery-reduced.
+  if (m.is_odd() && exp.bit_length() > 1) {
+    return Montgomery(m).pow(*this, exp);
+  }
+  return pow_mod_generic(exp, m);
+}
+
+BigInt BigInt::pow_mod(const BigInt& exp, const Montgomery& ctx) const {
+  return ctx.pow(*this, exp);
 }
 
 BigInt BigInt::inv_mod(const BigInt& m) const {

@@ -1,9 +1,21 @@
 // Arbitrary-precision integers.
 //
-// Sign-magnitude representation over 32-bit limbs (little-endian). Provides
-// everything the Paillier cryptosystem and the Sophos RSA trapdoor
-// permutation need: schoolbook/Knuth-D arithmetic, modular exponentiation,
-// modular inverse, gcd/lcm, and random sampling.
+// Sign-magnitude representation over 64-bit limbs (little-endian) with
+// `__uint128_t` accumulation in the inner loops. Provides everything the
+// Paillier cryptosystem and the Sophos RSA trapdoor permutation need:
+// schoolbook/Knuth-D arithmetic, modular exponentiation, modular inverse,
+// gcd/lcm, and random sampling.
+//
+// Modular exponentiation has two paths:
+//  * `pow_mod` — for odd moduli, delegates to a `Montgomery` reduction
+//    context (montgomery.hpp) built on the fly; even moduli fall back to
+//    the generic square-and-multiply below.
+//  * `pow_mod_generic` — the reference square-and-multiply over Knuth-D
+//    division, kept as the differential-testing baseline and the even-
+//    modulus fallback.
+// Callers exponentiating repeatedly under one modulus (Paillier, RSA,
+// ElGamal) should construct a `Montgomery` context once and use the
+// context-taking overloads to amortize the precomputation.
 //
 // This is a from-scratch replacement for the Java BigInteger the paper's
 // prototype inherited from Javallier/Bouncy Castle.
@@ -19,8 +31,12 @@
 
 namespace datablinder::bigint {
 
+class Montgomery;
+
 class BigInt {
  public:
+  using Limb = std::uint64_t;
+
   BigInt() = default;
   BigInt(std::int64_t v);   // NOLINT(google-explicit-constructor) — numeric literal ergonomics
   BigInt(std::uint64_t v);  // NOLINT(google-explicit-constructor)
@@ -87,9 +103,20 @@ class BigInt {
   /// (this * rhs) mod m.
   BigInt mul_mod(const BigInt& rhs, const BigInt& m) const;
 
-  /// this^exp mod m via left-to-right square-and-multiply. Requires exp >= 0,
-  /// m > 0.
+  /// (this * rhs) mod ctx.modulus() through a Montgomery context —
+  /// amortizes the per-modulus precomputation across calls.
+  BigInt mul_mod(const BigInt& rhs, const Montgomery& ctx) const;
+
+  /// this^exp mod m. Requires exp >= 0, m > 0. Odd moduli route through a
+  /// transient Montgomery context; even moduli use the generic path.
   BigInt pow_mod(const BigInt& exp, const BigInt& m) const;
+
+  /// this^exp mod ctx.modulus() through a caller-held Montgomery context.
+  BigInt pow_mod(const BigInt& exp, const Montgomery& ctx) const;
+
+  /// Reference square-and-multiply over Knuth-D division. Works for any
+  /// modulus; the differential suite pins `pow_mod` against this.
+  BigInt pow_mod_generic(const BigInt& exp, const BigInt& m) const;
 
   /// Modular inverse; throws Error(kInvalidArgument) if gcd(this, m) != 1.
   BigInt inv_mod(const BigInt& m) const;
@@ -107,25 +134,21 @@ class BigInt {
   static void div_mod(const BigInt& num, const BigInt& den, BigInt& quot, BigInt& rem);
 
  private:
+  friend class Montgomery;
+
   // Magnitude comparison ignoring sign.
-  static int cmp_mag(const std::vector<std::uint32_t>& a,
-                     const std::vector<std::uint32_t>& b) noexcept;
-  static std::vector<std::uint32_t> add_mag(const std::vector<std::uint32_t>& a,
-                                            const std::vector<std::uint32_t>& b);
+  static int cmp_mag(const std::vector<Limb>& a, const std::vector<Limb>& b) noexcept;
+  static std::vector<Limb> add_mag(const std::vector<Limb>& a, const std::vector<Limb>& b);
   // Requires |a| >= |b|.
-  static std::vector<std::uint32_t> sub_mag(const std::vector<std::uint32_t>& a,
-                                            const std::vector<std::uint32_t>& b);
-  static std::vector<std::uint32_t> mul_mag(const std::vector<std::uint32_t>& a,
-                                            const std::vector<std::uint32_t>& b);
-  static void div_mag(const std::vector<std::uint32_t>& num,
-                      const std::vector<std::uint32_t>& den,
-                      std::vector<std::uint32_t>& quot,
-                      std::vector<std::uint32_t>& rem);
+  static std::vector<Limb> sub_mag(const std::vector<Limb>& a, const std::vector<Limb>& b);
+  static std::vector<Limb> mul_mag(const std::vector<Limb>& a, const std::vector<Limb>& b);
+  static void div_mag(const std::vector<Limb>& num, const std::vector<Limb>& den,
+                      std::vector<Limb>& quot, std::vector<Limb>& rem);
 
   void trim() noexcept;
 
   // Little-endian limbs; empty means zero. negative_ is false for zero.
-  std::vector<std::uint32_t> limbs_;
+  std::vector<Limb> limbs_;
   bool negative_ = false;
 };
 

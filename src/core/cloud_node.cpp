@@ -316,6 +316,7 @@ void CloudNode::register_sophos_handlers() {
     sse::SophosPublicParams params;
     params.n = BigInt::from_bytes(wire::get_bin(req, "n"));
     params.e = BigInt::from_bytes(wire::get_bin(req, "e"));
+    params.init_context();  // one Montgomery context for every future search
     std::lock_guard lock(sse_mutex_);
     sophos_[wire::get_str(req, "scope")] =
         std::make_unique<sse::SophosServer>(std::move(params));
@@ -437,6 +438,9 @@ void CloudNode::register_agg_handlers() {
     AggColumn& col = agg_[wire::get_str(req, "scope")];
     col.n = BigInt::from_bytes(wire::get_bin(req, "n"));
     col.n_squared = col.n * col.n;
+    if (col.n_squared.is_odd()) {
+      col.mont_n2 = std::make_shared<const bigint::Montgomery>(col.n_squared);
+    }
     return wire::pack({});
   });
   rpc_.register_method("agg.insert", [this](BytesView p) {
@@ -467,7 +471,7 @@ void CloudNode::register_agg_handlers() {
     BigInt acc(1);  // multiplicative identity in Z_{n^2}: Enc-domain zero sum
     std::uint64_t count = 0;
     for (const auto& [id, ct] : col.cts) {
-      acc = acc.mul_mod(ct, col.n_squared);
+      acc = col.mont_n2 ? acc.mul_mod(ct, *col.mont_n2) : acc.mul_mod(ct, col.n_squared);
       ++count;
     }
     index_ops_ += count;

@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "bigint/bigint.hpp"
+#include "bigint/montgomery.hpp"
 #include "net/rpc.hpp"
 #include "sse/iex2lev.hpp"
 #include "sse/iexzmf.hpp"
@@ -78,6 +79,7 @@ class CloudNode {
   struct AggColumn {
     bigint::BigInt n;          // Paillier public modulus
     bigint::BigInt n_squared;
+    std::shared_ptr<const bigint::Montgomery> mont_n2;  // fold-loop context
     std::unordered_map<std::string, bigint::BigInt> cts;  // doc id -> ciphertext
   };
   std::unordered_map<std::string, AggColumn> agg_;

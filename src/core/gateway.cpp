@@ -50,11 +50,12 @@ Gateway::Gateway(net::RpcClient& cloud, kms::KeyManager& kms,
 Gateway::~Gateway() { cloud_.set_metrics_hook(nullptr); }
 
 GatewayContext Gateway::make_context(const std::string& collection,
-                                     const std::string& field) const {
+                                     const std::string& field) {
   GatewayContext ctx;
   ctx.cloud = &cloud_;
   ctx.local_store = &local_store_;
   ctx.kms = &kms_;
+  ctx.perf = &perf_;
   ctx.collection = collection;
   ctx.field = field;
   ctx.params = config_.tactic_params;

@@ -144,7 +144,7 @@ class Gateway {
   const exec::CollectionRuntime& runtime(const std::string& collection) const;
 
   GatewayContext make_context(const std::string& collection,
-                              const std::string& field) const;
+                              const std::string& field);
 
   static DocId generate_doc_id();
 

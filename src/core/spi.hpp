@@ -94,6 +94,8 @@ struct TacticDescriptor {
   bool boolean_covers_equality = false;
 };
 
+class PerfRegistry;
+
 /// Everything a gateway-side tactic implementation receives (the "tactic
 /// commonalities" of §4.2: cloud channel, key management, local repository,
 /// field scope).
@@ -101,6 +103,7 @@ struct GatewayContext {
   net::RpcClient* cloud = nullptr;         // communication channel to the cloud
   store::KvStore* local_store = nullptr;   // gateway-side repository (Redis role)
   kms::KeyManager* kms = nullptr;          // key management integration
+  PerfRegistry* perf = nullptr;            // gateway metrics (null in bare tests)
   std::string collection;
   std::string field;  // empty for collection-scoped (boolean) tactics
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/metrics.hpp"
 #include "core/tactics/builtin.hpp"
 #include "core/wire.hpp"
 
@@ -42,8 +43,10 @@ const TacticDescriptor& PaillierTactic::static_descriptor() {
 void PaillierTactic::setup() {
   const std::string key_slot = "paillier-keys:" + ctx_.scope("paillier");
   if (auto stored = ctx_.local_store->get(key_slot)) {
-    // Recover a previously generated keypair: n || lambda || mu, each
-    // length-prefixed.
+    // Recover a previously generated keypair: n || lambda || mu [|| p || q],
+    // each length-prefixed. The factor fields are absent in blobs persisted
+    // before CRT decryption existed — those keys simply stay on the
+    // lambda/mu path.
     std::size_t off = 0;
     auto take = [&]() {
       const std::size_t n = read_be32(BytesView(*stored).subspan(off));
@@ -57,6 +60,10 @@ void PaillierTactic::setup() {
     kp.pub.n_squared = kp.pub.n * kp.pub.n;
     kp.priv.lambda = take();
     kp.priv.mu = take();
+    if (off < stored->size()) {
+      kp.priv.p = take();
+      kp.priv.q = take();
+    }
     kp.priv.pub = kp.pub;
     keys_ = std::move(kp);
   } else {
@@ -71,8 +78,16 @@ void PaillierTactic::setup() {
     put(keys_->pub.n);
     put(keys_->priv.lambda);
     put(keys_->priv.mu);
+    put(keys_->priv.p);
+    put(keys_->priv.q);
     ctx_.local_store->set(key_slot, std::move(blob));
   }
+  // Montgomery contexts + optional randomizer pool ("paillier_pool" = pool
+  // low-water mark, 0 disables) + CRT residue system when p/q are known.
+  const int pool = ctx_.param_int("paillier_pool", 0);
+  keys_->pub.init_fast_paths(pool > 0 ? static_cast<std::size_t>(pool) : 0);
+  keys_->priv.pub = keys_->pub;
+  keys_->priv.init_fast_paths();
   ctx_.cloud->call("agg.setup", wire::pack({{"scope", Value(ctx_.scope("paillier"))},
                                             {"n", Value(keys_->pub.n.to_bytes())}}));
 }
@@ -81,6 +96,17 @@ void PaillierTactic::on_insert(const DocId& id, const Value& value) {
   const auto fixed = static_cast<std::int64_t>(
       std::llround(value.as_double() * static_cast<double>(kFixedPointScale)));
   const BigInt ct = keys_->pub.encrypt_i64(fixed);
+  if (ctx_.perf) {
+    ctx_.perf->incr("core.crypto.paillier.encrypt");
+    if (const auto& pool = keys_->pub.pool) {
+      // Published as totals: hit-rate = hits / (hits + misses).
+      ctx_.perf->incr("core.crypto.paillier.pool.hit",
+                      pool->hits() - ctx_.perf->counter("core.crypto.paillier.pool.hit"));
+      ctx_.perf->incr(
+          "core.crypto.paillier.pool.miss",
+          pool->misses() - ctx_.perf->counter("core.crypto.paillier.pool.miss"));
+    }
+  }
   ctx_.cloud->call("agg.insert", wire::pack({{"scope", Value(ctx_.scope("paillier"))},
                                              {"id", Value(id)},
                                              {"ct", Value(ct.to_bytes())}}));
@@ -103,6 +129,7 @@ AggregateResult PaillierTactic::aggregate(schema::Aggregate agg) {
   }
   if (out.count == 0) return out;
   const BigInt sum_ct = BigInt::from_bytes(wire::get_bin(obj, "sum_ct"));
+  if (ctx_.perf) ctx_.perf->incr("core.crypto.paillier.decrypt");
   const double sum = static_cast<double>(keys_->priv.decrypt(sum_ct).to_i64()) /
                      static_cast<double>(kFixedPointScale);
   out.value = (agg == schema::Aggregate::kAverage)

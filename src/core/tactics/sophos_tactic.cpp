@@ -1,5 +1,6 @@
 #include "core/tactics/sophos_tactic.hpp"
 
+#include "core/metrics.hpp"
 #include "core/tactics/builtin.hpp"
 #include "core/wire.hpp"
 
@@ -45,6 +46,7 @@ void SophosTactic::setup() {
 void SophosTactic::on_insert(const DocId& id, const Value& value) {
   const sse::SophosUpdateToken token =
       client_->update(field_keyword(ctx_.field, value), id);
+  if (ctx_.perf) ctx_.perf->incr("core.crypto.sophos.trapdoor");
   ctx_.cloud->call("sophos.update", wire::pack({{"scope", Value(ctx_.scope("sophos"))},
                                                 {"ut", Value(token.ut)},
                                                 {"value", Value(token.value)}}));
@@ -58,6 +60,7 @@ void SophosTactic::on_delete(const DocId&, const Value&) {
 std::vector<DocId> SophosTactic::equality_search(const Value& value) {
   const auto token = client_->search_token(field_keyword(ctx_.field, value));
   if (!token) return {};  // keyword never inserted
+  if (ctx_.perf) ctx_.perf->incr("core.crypto.sophos.search_steps", token->count);
   const Bytes reply = ctx_.cloud->call(
       "sophos.search",
       wire::pack({{"scope", Value(ctx_.scope("sophos"))},

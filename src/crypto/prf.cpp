@@ -5,6 +5,69 @@
 
 namespace datablinder::crypto {
 
+PrfKey::PrfKey(BytesView key) {
+  Bytes k(key.begin(), key.end());
+  if (k.size() > Sha256::kBlockSize) {
+    Bytes digest = Sha256::digest(k);
+    secure_wipe(k);
+    k = std::move(digest);
+  }
+  k.resize(Sha256::kBlockSize, 0);
+
+  Bytes pad(Sha256::kBlockSize);
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) pad[i] = k[i] ^ 0x36;
+  inner_mid_.update(pad);
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) pad[i] = k[i] ^ 0x5c;
+  outer_mid_.update(pad);
+  secure_wipe(pad);
+  secure_wipe(k);
+}
+
+PrfKey::PrfKey(const SecretBytes& key) : PrfKey(key.expose_secret()) {}
+
+PrfKey::~PrfKey() {
+  // reset() reloads the IV constants, clearing the key-derived midstates.
+  inner_mid_.reset();
+  outer_mid_.reset();
+}
+
+Bytes PrfKey::finish(Sha256 inner) const {
+  const Bytes inner_digest = inner.finalize();
+  Sha256 outer = outer_mid_;
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+Bytes PrfKey::prf(BytesView input) const {
+  Sha256 inner = inner_mid_;
+  inner.update(input);
+  return finish(std::move(inner));
+}
+
+Bytes PrfKey::prf_labeled(std::string_view label, BytesView input) const {
+  Sha256 inner = inner_mid_;
+  inner.update(to_bytes(label));
+  const std::uint8_t sep = 0;
+  inner.update({&sep, 1});
+  inner.update(input);
+  return finish(std::move(inner));
+}
+
+Bytes PrfKey::prf_n(BytesView input, std::size_t n) const {
+  if (n <= HmacSha256::kTagSize) {
+    Bytes out = prf(input);
+    out.resize(n);
+    return out;
+  }
+  return hkdf_expand(prf(input), to_bytes("prf_n"), n);
+}
+
+std::uint64_t PrfKey::prf_u64(BytesView input) const { return read_be64(prf(input)); }
+
+std::uint64_t PrfKey::prf_mod(BytesView input, std::uint64_t bound) const {
+  return prf_u64(input) % bound;
+}
+
 Bytes prf(BytesView key, BytesView input) { return HmacSha256::mac(key, input); }
 
 Bytes prf_labeled(BytesView key, std::string_view label, BytesView input) {

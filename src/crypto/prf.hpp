@@ -9,8 +9,42 @@
 
 #include "common/bytes.hpp"
 #include "common/secret.hpp"
+#include "crypto/sha256.hpp"
 
 namespace datablinder::crypto {
+
+/// A PRF key with the HMAC key schedule hoisted: the SHA-256 midstates for
+/// the ipad/opad blocks are computed once at construction, so every MAC
+/// afterwards skips the key hashing/padding and two compression rounds.
+/// SSE schemes evaluate the PRF per keyword-counter pair under one long-
+/// lived key, which makes the per-call schedule the dominant fixed cost.
+///
+/// Bit-for-bit compatible with the free `prf*` functions (pinned by the
+/// differential tests); copyable so scheme clients can hold it by value.
+class PrfKey {
+ public:
+  explicit PrfKey(BytesView key);
+  explicit PrfKey(const SecretBytes& key);
+
+  PrfKey(const PrfKey&) = default;
+  PrfKey& operator=(const PrfKey&) = default;
+  /// The midstates are key-derived: wipe them on destruction.
+  ~PrfKey();
+
+  Bytes prf(BytesView input) const;
+  Bytes prf_labeled(std::string_view label, BytesView input) const;
+  Bytes prf_n(BytesView input, std::size_t n) const;
+  std::uint64_t prf_u64(BytesView input) const;
+  std::uint64_t prf_mod(BytesView input, std::uint64_t bound) const;
+
+ private:
+  /// Finishes HMAC from the cached midstates over an already-absorbed
+  /// inner state.
+  Bytes finish(Sha256 inner) const;
+
+  Sha256 inner_mid_;  // state after absorbing key ^ ipad
+  Sha256 outer_mid_;  // state after absorbing key ^ opad
+};
 
 /// PRF(key, input) -> 32 bytes (HMAC-SHA256).
 Bytes prf(BytesView key, BytesView input);

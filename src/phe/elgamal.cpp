@@ -16,32 +16,49 @@ BigInt sample_exponent(const BigInt& p) {
 }
 }  // namespace
 
+void ElGamalPublicKey::init_fast_paths() {
+  if (!mont_p) mont_p = std::make_shared<const Montgomery>(p);
+}
+
 ElGamalCiphertext ElGamalPublicKey::encrypt(const BigInt& m) const {
   require(!m.is_zero() && m < p, "elgamal: message out of range");
   const BigInt r = sample_exponent(p);
+  if (mont_p) {
+    return {g.pow_mod(r, *mont_p), m.mul_mod(h.pow_mod(r, *mont_p), *mont_p)};
+  }
   return {g.pow_mod(r, p), m.mul_mod(h.pow_mod(r, p), p)};
 }
 
 ElGamalCiphertext ElGamalPublicKey::encrypt_exponent(std::uint64_t m) const {
   const BigInt r = sample_exponent(p);
+  if (mont_p) {
+    const BigInt gm = g.pow_mod(BigInt(m), *mont_p);
+    return {g.pow_mod(r, *mont_p), gm.mul_mod(h.pow_mod(r, *mont_p), *mont_p)};
+  }
   const BigInt gm = g.pow_mod(BigInt(m), p);
   return {g.pow_mod(r, p), gm.mul_mod(h.pow_mod(r, p), p)};
 }
 
 ElGamalCiphertext ElGamalPublicKey::multiply(const ElGamalCiphertext& a,
                                              const ElGamalCiphertext& b) const {
+  if (mont_p) return {a.c1.mul_mod(b.c1, *mont_p), a.c2.mul_mod(b.c2, *mont_p)};
   return {a.c1.mul_mod(b.c1, p), a.c2.mul_mod(b.c2, p)};
 }
 
 ElGamalCiphertext ElGamalPublicKey::rerandomize(const ElGamalCiphertext& c) const {
   const BigInt r = sample_exponent(p);
+  if (mont_p) {
+    return {c.c1.mul_mod(g.pow_mod(r, *mont_p), *mont_p),
+            c.c2.mul_mod(h.pow_mod(r, *mont_p), *mont_p)};
+  }
   return {c.c1.mul_mod(g.pow_mod(r, p), p), c.c2.mul_mod(h.pow_mod(r, p), p)};
 }
 
 BigInt ElGamalPrivateKey::decrypt(const ElGamalCiphertext& c) const {
   // m = c2 / c1^x.
-  const BigInt s = c.c1.pow_mod(x, pub.p);
-  return c.c2.mul_mod(s.inv_mod(pub.p), pub.p);
+  const BigInt s = pub.mont_p ? c.c1.pow_mod(x, *pub.mont_p) : c.c1.pow_mod(x, pub.p);
+  return pub.mont_p ? c.c2.mul_mod(s.inv_mod(pub.p), *pub.mont_p)
+                    : c.c2.mul_mod(s.inv_mod(pub.p), pub.p);
 }
 
 std::optional<std::uint64_t> ElGamalPrivateKey::decrypt_exponent(
@@ -52,7 +69,7 @@ std::optional<std::uint64_t> ElGamalPrivateKey::decrypt_exponent(
   BigInt cur(1);
   for (std::uint64_t m = 0; m <= max_exponent; ++m) {
     if (cur == gm) return m;
-    cur = cur.mul_mod(pub.g, pub.p);
+    cur = pub.mont_p ? cur.mul_mod(pub.g, *pub.mont_p) : cur.mul_mod(pub.g, pub.p);
   }
   return std::nullopt;
 }
@@ -66,17 +83,18 @@ ElGamalKeyPair elgamal_generate(std::size_t prime_bits) {
     p = (q << 1) + BigInt(1);
     if (bigint::is_probable_prime(p)) break;
   }
+  ElGamalKeyPair kp;
+  kp.pub.p = p;
+  kp.pub.init_fast_paths();
   BigInt g;
   for (;;) {
     const BigInt candidate = BigInt(2) + BigInt::random_below(p - BigInt(3));
-    g = candidate.mul_mod(candidate, p);  // square: lands in the QR subgroup
+    g = candidate.mul_mod(candidate, *kp.pub.mont_p);  // square: lands in the QR subgroup
     if (g != BigInt(1)) break;
   }
-  ElGamalKeyPair kp;
-  kp.pub.p = p;
   kp.pub.g = g;
   kp.priv.x = sample_exponent(p);
-  kp.pub.h = g.pow_mod(kp.priv.x, p);
+  kp.pub.h = g.pow_mod(kp.priv.x, *kp.pub.mont_p);
   kp.priv.pub = kp.pub;
   return kp;
 }

@@ -14,13 +14,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "bigint/bigint.hpp"
+#include "bigint/montgomery.hpp"
 
 namespace datablinder::phe {
 
 using bigint::BigInt;
+using bigint::Montgomery;
 
 struct ElGamalCiphertext {
   BigInt c1;  // g^r
@@ -33,6 +36,14 @@ struct ElGamalPublicKey {
   BigInt p;  // safe prime
   BigInt g;  // generator of the quadratic-residue subgroup
   BigInt h;  // g^x
+
+  /// Cached Montgomery context for p, shared by the four exponentiations
+  /// each operation performs (never serialized; rebuilt on demand).
+  std::shared_ptr<const Montgomery> mont_p;
+
+  /// Builds the cached context. Idempotent; keygen calls it, and every
+  /// operation falls back to transient contexts when it never ran.
+  void init_fast_paths();
 
   /// Multiplicative encryption of m in [1, p). m must be a quadratic
   /// residue for textbook semantic security; callers square or hash-map

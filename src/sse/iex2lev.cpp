@@ -37,8 +37,8 @@ std::vector<std::vector<Bytes>> Iex2LevServer::search(const IexConjToken& token)
   return out;
 }
 
-Iex2LevClient::Iex2LevClient(BytesView key) : key_(SecretBytes::from_view(key)) {
-  require(!key_.empty(), "Iex2LevClient: empty key");
+Iex2LevClient::Iex2LevClient(BytesView key) : key_(key) {
+  require(!key.empty(), "Iex2LevClient: empty key");
 }
 
 Iex2LevClient::Iex2LevClient(const SecretBytes& key)
@@ -53,11 +53,11 @@ std::string Iex2LevClient::pair_stream(const std::string& w, const std::string& 
 IexUpdateToken Iex2LevClient::make_token(IexOp op, const std::string& stream,
                                          std::uint64_t count, const DocId& id) const {
   IexUpdateToken token;
-  token.address = crypto::prf(key_, stream_input(stream, count, 0));
+  token.address = key_.prf(stream_input(stream, count, 0));
   Bytes payload;
   payload.push_back(static_cast<std::uint8_t>(op));
   append(payload, to_bytes(id));
-  xor_inplace(payload, crypto::prf_n(key_, stream_input(stream, count, 1), payload.size()));
+  xor_inplace(payload, key_.prf_n(stream_input(stream, count, 1), payload.size()));
   token.value = std::move(payload);
   return token;
 }
@@ -88,7 +88,7 @@ IexConjToken Iex2LevClient::conj_token(const std::vector<std::string>& conj) con
     const std::uint64_t c = counters_.get(stream);
     addrs.reserve(c);
     for (std::uint64_t i = 1; i <= c; ++i) {
-      addrs.push_back(crypto::prf(key_, stream_input(stream, i, 0)));
+      addrs.push_back(key_.prf(stream_input(stream, i, 0)));
     }
     return addrs;
   };
@@ -106,7 +106,7 @@ std::vector<DocId> Iex2LevClient::resolve_stream(const std::string& stream,
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (values[i].empty()) continue;  // positional placeholder for a miss
     Bytes payload = values[i];
-    xor_inplace(payload, crypto::prf_n(key_, stream_input(stream, i + 1, 1), payload.size()));
+    xor_inplace(payload, key_.prf_n(stream_input(stream, i + 1, 1), payload.size()));
     const auto op = static_cast<IexOp>(payload[0]);
     DocId id(reinterpret_cast<const char*>(payload.data() + 1), payload.size() - 1);
     if (op == IexOp::kAdd) {

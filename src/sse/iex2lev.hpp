@@ -22,6 +22,7 @@
 
 #include "common/bytes.hpp"
 #include "common/secret.hpp"
+#include "crypto/prf.hpp"
 #include "sse/index_common.hpp"
 
 namespace datablinder::sse {
@@ -92,7 +93,7 @@ class Iex2LevClient {
   static std::string global_stream(const std::string& w);
   static std::string pair_stream(const std::string& w, const std::string& v);
 
-  SecretBytes key_;
+  crypto::PrfKey key_;  // hoisted HMAC schedule (pair expansion is PRF-heavy)
   KeywordCounters counters_;  // counts per stream (global and pair streams)
 };
 

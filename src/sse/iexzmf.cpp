@@ -69,8 +69,8 @@ std::vector<Bytes> IexZmfServer::search(const ZmfConjToken& token) const {
 }
 
 IexZmfClient::IexZmfClient(BytesView key, ZmfFilterParams params)
-    : key_(SecretBytes::from_view(key)), params_(params) {
-  require(!key_.empty(), "IexZmfClient: empty key");
+    : key_(key), params_(params) {
+  require(!key.empty(), "IexZmfClient: empty key");
   require(params_.filter_bits % 8 == 0 && params_.filter_bits > 0,
           "IexZmfClient: filter_bits must be a positive multiple of 8");
   require(params_.num_hashes > 0, "IexZmfClient: num_hashes must be positive");
@@ -80,7 +80,7 @@ IexZmfClient::IexZmfClient(const SecretBytes& key, ZmfFilterParams params)
     : IexZmfClient(key.expose_secret(), params) {}
 
 Bytes IexZmfClient::keyword_token(const std::string& w) const {
-  return crypto::prf_labeled(key_, "zmf-kw", to_bytes(w));
+  return key_.prf_labeled("zmf-kw", to_bytes(w));
 }
 
 std::vector<ZmfUpdateToken> IexZmfClient::update(
@@ -94,12 +94,12 @@ std::vector<ZmfUpdateToken> IexZmfClient::update(
   for (const auto& w : keywords) {
     const std::uint64_t c = counters_.increment(w);
     ZmfUpdateToken token;
-    token.address = crypto::prf(key_, stream_input(w, c, 0));
+    token.address = key_.prf(stream_input(w, c, 0));
 
     Bytes payload;
     payload.push_back(static_cast<std::uint8_t>(op));
     append(payload, to_bytes(id));
-    xor_inplace(payload, crypto::prf_n(key_, stream_input(w, c, 1), payload.size()));
+    xor_inplace(payload, key_.prf_n(stream_input(w, c, 1), payload.size()));
     token.value = std::move(payload);
 
     token.salt = SecureRng::bytes(16);
@@ -121,7 +121,7 @@ ZmfConjToken IexZmfClient::conj_token(const std::vector<std::string>& conj) cons
   const std::uint64_t c = counters_.get(w1);
   token.addresses.reserve(c);
   for (std::uint64_t i = 1; i <= c; ++i) {
-    token.addresses.push_back(crypto::prf(key_, stream_input(w1, i, 0)));
+    token.addresses.push_back(key_.prf(stream_input(w1, i, 0)));
   }
   for (std::size_t j = 1; j < conj.size(); ++j) {
     token.keyword_tokens.push_back(keyword_token(conj[j]));
@@ -137,7 +137,7 @@ std::vector<DocId> IexZmfClient::resolve_conj(const std::vector<std::string>& co
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (values[i].empty()) continue;  // filtered out or missing
     Bytes payload = values[i];
-    xor_inplace(payload, crypto::prf_n(key_, stream_input(w1, i + 1, 1), payload.size()));
+    xor_inplace(payload, key_.prf_n(stream_input(w1, i + 1, 1), payload.size()));
     const auto op = static_cast<IexOp>(payload[0]);
     DocId id(reinterpret_cast<const char*>(payload.data() + 1), payload.size() - 1);
     if (op == IexOp::kAdd) {

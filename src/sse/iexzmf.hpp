@@ -21,6 +21,7 @@
 
 #include "common/bytes.hpp"
 #include "common/secret.hpp"
+#include "crypto/prf.hpp"
 #include "sse/iex2lev.hpp"  // reuses BoolQuery / IexOp
 #include "sse/index_common.hpp"
 
@@ -92,7 +93,7 @@ class IexZmfClient {
  private:
   Bytes keyword_token(const std::string& w) const;
 
-  SecretBytes key_;
+  crypto::PrfKey key_;  // hoisted HMAC schedule
   ZmfFilterParams params_;
   KeywordCounters counters_;
 };

@@ -29,18 +29,18 @@ std::vector<Bytes> MitraServer::search(const MitraSearchToken& token) const {
   return out;
 }
 
-MitraClient::MitraClient(BytesView key) : key_(SecretBytes::from_view(key)) {
-  require(!key_.empty(), "MitraClient: empty key");
+MitraClient::MitraClient(BytesView key) : key_(key) {
+  require(!key.empty(), "MitraClient: empty key");
 }
 
 MitraClient::MitraClient(const SecretBytes& key) : MitraClient(key.expose_secret()) {}
 
 Bytes MitraClient::address_for(const std::string& keyword, std::uint64_t count) const {
-  return crypto::prf(key_, keyword_input(keyword, count, 0));
+  return key_.prf(keyword_input(keyword, count, 0));
 }
 
 Bytes MitraClient::pad_for(const std::string& keyword, std::uint64_t count) const {
-  return crypto::prf(key_, keyword_input(keyword, count, 1));
+  return key_.prf(keyword_input(keyword, count, 1));
 }
 
 MitraUpdateToken MitraClient::update(MitraOp op, const std::string& keyword,
@@ -53,7 +53,7 @@ MitraUpdateToken MitraClient::update(MitraOp op, const std::string& keyword,
   Bytes payload;
   payload.push_back(static_cast<std::uint8_t>(op));
   append(payload, to_bytes(id));
-  Bytes pad = crypto::prf_n(key_, keyword_input(keyword, c, 1), payload.size());
+  Bytes pad = key_.prf_n(keyword_input(keyword, c, 1), payload.size());
   xor_inplace(payload, pad);
   token.value = std::move(payload);
   return token;
@@ -79,7 +79,7 @@ std::vector<DocId> MitraClient::resolve(const std::string& keyword,
   require(values.size() <= c, "MitraClient::resolve: more values than updates");
   for (std::size_t i = 0; i < values.size(); ++i) {
     Bytes payload = values[i];
-    const Bytes pad = crypto::prf_n(key_, keyword_input(keyword, i + 1, 1), payload.size());
+    const Bytes pad = key_.prf_n(keyword_input(keyword, i + 1, 1), payload.size());
     xor_inplace(payload, pad);
     require(!payload.empty(), "MitraClient::resolve: empty payload");
     const auto op = static_cast<MitraOp>(payload[0]);

@@ -17,6 +17,7 @@
 
 #include "common/bytes.hpp"
 #include "common/secret.hpp"
+#include "crypto/prf.hpp"
 #include "sse/index_common.hpp"
 
 namespace datablinder::sse {
@@ -80,7 +81,7 @@ class MitraClient {
   Bytes address_for(const std::string& keyword, std::uint64_t count) const;
   Bytes pad_for(const std::string& keyword, std::uint64_t count) const;
 
-  SecretBytes key_;
+  crypto::PrfKey key_;  // hoisted HMAC schedule — every op is PRF-bound
   KeywordCounters counters_;
 };
 

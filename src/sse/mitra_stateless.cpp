@@ -39,16 +39,16 @@ std::vector<Bytes> MitraStatelessServer::search(const MitraSearchToken& token) c
 }
 
 MitraStatelessClient::MitraStatelessClient(BytesView key)
-    : key_(SecretBytes::from_view(key)),
+    : key_(key),
       counter_key_(crypto::prf_labeled(key, "mitra-sl-counter", {})) {
-  require(!key_.empty(), "MitraStatelessClient: empty key");
+  require(!key.empty(), "MitraStatelessClient: empty key");
 }
 
 MitraStatelessClient::MitraStatelessClient(const SecretBytes& key)
     : MitraStatelessClient(key.expose_secret()) {}
 
 Bytes MitraStatelessClient::counter_label(const std::string& keyword) const {
-  return crypto::prf_labeled(key_, "mitra-sl-slot", to_bytes(keyword));
+  return key_.prf_labeled("mitra-sl-slot", to_bytes(keyword));
 }
 
 std::uint64_t MitraStatelessClient::decode_counter(
@@ -74,11 +74,11 @@ MitraUpdateToken MitraStatelessClient::update(MitraOp op, const std::string& key
                                               std::uint64_t current_count) const {
   const std::uint64_t c = current_count + 1;
   MitraUpdateToken token;
-  token.address = crypto::prf(key_, keyword_input(keyword, c, 0));
+  token.address = key_.prf(keyword_input(keyword, c, 0));
   Bytes payload;
   payload.push_back(static_cast<std::uint8_t>(op));
   append(payload, to_bytes(id));
-  xor_inplace(payload, crypto::prf_n(key_, keyword_input(keyword, c, 1), payload.size()));
+  xor_inplace(payload, key_.prf_n(keyword_input(keyword, c, 1), payload.size()));
   token.value = std::move(payload);
   return token;
 }
@@ -88,7 +88,7 @@ MitraSearchToken MitraStatelessClient::search_token(const std::string& keyword,
   MitraSearchToken token;
   token.addresses.reserve(count);
   for (std::uint64_t i = 1; i <= count; ++i) {
-    token.addresses.push_back(crypto::prf(key_, keyword_input(keyword, i, 0)));
+    token.addresses.push_back(key_.prf(keyword_input(keyword, i, 0)));
   }
   return token;
 }
@@ -99,8 +99,7 @@ std::vector<DocId> MitraStatelessClient::resolve(const std::string& keyword,
   std::vector<DocId> order;
   for (std::size_t i = 0; i < values.size(); ++i) {
     Bytes payload = values[i];
-    xor_inplace(payload,
-                crypto::prf_n(key_, keyword_input(keyword, i + 1, 1), payload.size()));
+    xor_inplace(payload, key_.prf_n(keyword_input(keyword, i + 1, 1), payload.size()));
     require(!payload.empty(), "mitra-stateless: empty payload");
     const auto op = static_cast<MitraOp>(payload[0]);
     DocId id(reinterpret_cast<const char*>(payload.data() + 1), payload.size() - 1);

@@ -26,6 +26,7 @@
 
 #include "common/bytes.hpp"
 #include "common/secret.hpp"
+#include "crypto/prf.hpp"
 #include "sse/index_common.hpp"
 #include "sse/mitra.hpp"
 
@@ -80,7 +81,7 @@ class MitraStatelessClient {
                              const std::vector<Bytes>& values) const;
 
  private:
-  SecretBytes key_;
+  crypto::PrfKey key_;  // hoisted HMAC schedule
   SecretBytes counter_key_;
 };
 

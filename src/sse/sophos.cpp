@@ -17,6 +17,21 @@ Bytes sophos_h2(BytesView kw_token, BytesView st_bytes, std::size_t len) {
   return crypto::prf_n(kw_token, input, len);
 }
 
+Bytes sophos_h1(const crypto::PrfKey& kw, BytesView st_bytes) {
+  return kw.prf_labeled("sophos-h1", st_bytes);
+}
+
+Bytes sophos_h2(const crypto::PrfKey& kw, BytesView st_bytes, std::size_t len) {
+  Bytes input = to_bytes("sophos-h2");
+  input.push_back(0);
+  append(input, st_bytes);
+  return kw.prf_n(input, len);
+}
+
+void SophosPublicParams::init_context() {
+  if (!mont_n && n.is_odd()) mont_n = std::make_shared<const Montgomery>(n);
+}
+
 void SophosServer::apply_update(const SophosUpdateToken& token) {
   dict_.put(token.ut, token.value);
 }
@@ -26,39 +41,47 @@ std::vector<DocId> SophosServer::search(const SophosSearchToken& token) const {
   out.reserve(token.count);
   BigInt st = BigInt::from_bytes(token.st_current);
   const std::size_t elem_len = params_.element_len();
+  // One HMAC key schedule for the whole chain walk instead of two per step.
+  const crypto::PrfKey kw(token.kw_token);
   for (std::uint64_t i = 0; i < token.count; ++i) {
     const Bytes st_bytes = st.to_bytes(elem_len);
-    const Bytes ut = sophos_h1(token.kw_token, st_bytes);
+    const Bytes ut = sophos_h1(kw, st_bytes);
     auto value = dict_.get(ut);
     if (value) {
       Bytes payload = *value;
-      xor_inplace(payload, sophos_h2(token.kw_token, st_bytes, payload.size()));
+      xor_inplace(payload, sophos_h2(kw, st_bytes, payload.size()));
       out.emplace_back(reinterpret_cast<const char*>(payload.data()), payload.size());
     }
     // Step to the previous state with the public (forward) permutation.
-    st = st.pow_mod(params_.e, params_.n);
+    st = params_.mont_n ? st.pow_mod(params_.e, *params_.mont_n)
+                        : st.pow_mod(params_.e, params_.n);
   }
   return out;
 }
 
 SophosClient::SophosClient(BytesView prf_key, std::size_t modulus_bits)
-    : prf_key_(SecretBytes::from_view(prf_key)) {
-  require(!prf_key_.empty(), "SophosClient: empty PRF key");
+    : prf_key_(prf_key) {
+  require(!prf_key.empty(), "SophosClient: empty PRF key");
   require(modulus_bits >= 128, "SophosClient: modulus too small");
   const auto [p, q] = bigint::generate_prime_pair(modulus_bits / 2);
   n_ = p * q;
   e_ = BigInt(65537);
   const BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
   d_ = e_.inv_mod(phi);
+  mont_n_ = std::make_shared<const Montgomery>(n_);
 }
 
 SophosClient::SophosClient(const SecretBytes& prf_key, std::size_t modulus_bits)
     : SophosClient(prf_key.expose_secret(), modulus_bits) {}
 
-SophosPublicParams SophosClient::public_params() const { return {n_, e_}; }
+SophosPublicParams SophosClient::public_params() const {
+  SophosPublicParams params{n_, e_};
+  params.mont_n = mont_n_;  // share the client's context with the server side
+  return params;
+}
 
 Bytes SophosClient::kw_token(const std::string& keyword) const {
-  return crypto::prf_labeled(prf_key_, "sophos-kw", to_bytes(keyword));
+  return prf_key_.prf_labeled("sophos-kw", to_bytes(keyword));
 }
 
 SophosUpdateToken SophosClient::update(const std::string& keyword, const DocId& id) {
@@ -68,13 +91,13 @@ SophosUpdateToken SophosClient::update(const std::string& keyword, const DocId& 
     ks.st = BigInt::random_below(n_);
   } else {
     // Step backwards: only the trapdoor holder can do this.
-    ks.st = ks.st.pow_mod(d_, n_);
+    ks.st = mont_n_ ? ks.st.pow_mod(d_, *mont_n_) : ks.st.pow_mod(d_, n_);
   }
   ++ks.count;
 
   const std::size_t elem_len = (n_.bit_length() + 7) / 8;
   const Bytes st_bytes = ks.st.to_bytes(elem_len);
-  const Bytes kt = kw_token(keyword);
+  const crypto::PrfKey kt(kw_token(keyword));  // one schedule for H1 + H2
 
   SophosUpdateToken token;
   token.ut = sophos_h1(kt, st_bytes);

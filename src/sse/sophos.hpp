@@ -12,24 +12,37 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "bigint/bigint.hpp"
+#include "bigint/montgomery.hpp"
 #include "common/bytes.hpp"
 #include "common/secret.hpp"
+#include "crypto/prf.hpp"
 #include "sse/index_common.hpp"
 
 namespace datablinder::sse {
 
 using bigint::BigInt;
+using bigint::Montgomery;
 
 /// RSA trapdoor-permutation key material.
 struct SophosPublicParams {
   BigInt n;       // RSA modulus
   BigInt e;       // public exponent (forward direction, server side)
+
+  /// Cached Montgomery context for n — the server replays one modular
+  /// exponentiation per chain step, so search cost is dominated by it.
+  /// Never serialized; rebuilt on demand.
+  std::shared_ptr<const Montgomery> mont_n;
+
+  /// Builds the cached context. Idempotent.
+  void init_context();
+
   std::size_t element_len() const { return (n.bit_length() + 7) / 8; }
 };
 
@@ -86,13 +99,18 @@ class SophosClient {
 
   Bytes kw_token(const std::string& keyword) const;
 
-  SecretBytes prf_key_;
+  crypto::PrfKey prf_key_;  // hoisted HMAC schedule for kw-token derivation
   BigInt n_, e_, d_;  // RSA trapdoor permutation
+  std::shared_ptr<const Montgomery> mont_n_;  // context for the d-exponent steps
   std::unordered_map<std::string, KeywordState> state_;
 };
 
-/// H1/H2 are shared between client and server (token-keyed PRFs).
+/// H1/H2 are shared between client and server (token-keyed PRFs). The
+/// PrfKey overloads let a search walk hoist the HMAC key schedule for the
+/// keyword token once and reuse it across every chain step.
 Bytes sophos_h1(BytesView kw_token, BytesView st_bytes);
 Bytes sophos_h2(BytesView kw_token, BytesView st_bytes, std::size_t len);
+Bytes sophos_h1(const crypto::PrfKey& kw, BytesView st_bytes);
+Bytes sophos_h2(const crypto::PrfKey& kw, BytesView st_bytes, std::size_t len);
 
 }  // namespace datablinder::sse

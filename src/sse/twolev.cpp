@@ -25,8 +25,8 @@ std::size_t TwoLevServerIndex::storage_bytes() const {
 }
 
 TwoLevClient::TwoLevClient(BytesView key, TwoLevParams params)
-    : key_(SecretBytes::from_view(key)), params_(params) {
-  require(!key_.empty(), "TwoLevClient: empty key");
+    : key_(key), params_(params) {
+  require(!key.empty(), "TwoLevClient: empty key");
   require(params_.bucket_capacity > 0, "TwoLevClient: bucket_capacity must be > 0");
 }
 
@@ -34,12 +34,11 @@ TwoLevClient::TwoLevClient(const SecretBytes& key, TwoLevParams params)
     : TwoLevClient(key.expose_secret(), params) {}
 
 Bytes TwoLevClient::entry_key_for(const std::string& keyword) const {
-  return crypto::prf_labeled(key_, "2lev-key", to_bytes(keyword));
+  return key_.prf_labeled("2lev-key", to_bytes(keyword));
 }
 
 TwoLevToken TwoLevClient::token(const std::string& keyword) const {
-  return {crypto::prf_labeled(key_, "2lev-label", to_bytes(keyword)),
-          entry_key_for(keyword)};
+  return {key_.prf_labeled("2lev-label", to_bytes(keyword)), entry_key_for(keyword)};
 }
 
 TwoLevServerIndex TwoLevClient::build(
@@ -95,7 +94,7 @@ TwoLevServerIndex TwoLevClient::build(
   // key, so the generator acts as a deterministic expander, not an entropy
   // source — rebuilding with the same key reproduces the same layout.
   DetRng shuffle_rng(  // dblint:allow(rng): PRF-seeded deterministic shuffle
-      crypto::prf_u64(key_, to_bytes("2lev-shuffle")));
+      key_.prf_u64(to_bytes("2lev-shuffle")));
   for (std::size_t i = position.size(); i > 1; --i) {
     std::swap(position[i - 1], position[shuffle_rng.uniform(i)]);
   }

@@ -28,6 +28,7 @@
 
 #include "common/bytes.hpp"
 #include "common/secret.hpp"
+#include "crypto/prf.hpp"
 #include "sse/index_common.hpp"
 
 namespace datablinder::sse {
@@ -80,7 +81,7 @@ class TwoLevClient {
  private:
   Bytes entry_key_for(const std::string& keyword) const;
 
-  SecretBytes key_;
+  crypto::PrfKey key_;  // hoisted HMAC schedule — setup is one PRF per keyword
   TwoLevParams params_;
 };
 

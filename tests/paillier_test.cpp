@@ -2,6 +2,8 @@
 // encoding and parameterized sweeps over modulus sizes.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "phe/paillier.hpp"
@@ -73,6 +75,31 @@ TEST_F(PaillierFixture, LongAccumulationMatchesPlaintextSum) {
                          acc == BigInt(1) ? keys().pub.encrypt_zero() : acc);
   }
   EXPECT_EQ(keys().priv.decrypt_i64(acc), expected);
+}
+
+TEST_F(PaillierFixture, HalfRangeBoundaryDecode) {
+  // The signed-decode cut is symmetric: with n odd, positives occupy
+  // [0, n/2] and everything above decodes as m - n. Probe both sides of
+  // the threshold exactly.
+  const BigInt n = keys().pub.n;
+  const BigInt half = n >> 1;  // floor(n/2) = (n-1)/2
+  EXPECT_EQ(keys().priv.decrypt(keys().pub.encrypt(half)), half);
+  EXPECT_EQ(keys().priv.decrypt(keys().pub.encrypt(half - BigInt(1))), half - BigInt(1));
+  // One past the cut is the most-negative representable value, -(n-1)/2.
+  EXPECT_EQ(keys().priv.decrypt(keys().pub.encrypt(half + BigInt(1))), -half);
+  EXPECT_EQ(keys().priv.decrypt(keys().pub.encrypt(half + BigInt(2))),
+            BigInt(1) - half);
+  // Negative inputs encode as n - |m| and come back signed.
+  EXPECT_EQ(keys().priv.decrypt(keys().pub.encrypt(-half)), -half);
+}
+
+TEST_F(PaillierFixture, Int64ExtremesRoundTrip) {
+  const std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  const std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+  for (const std::int64_t m :
+       {lo, lo + 1, std::int64_t{-1}, std::int64_t{0}, std::int64_t{1}, hi - 1, hi}) {
+    EXPECT_EQ(keys().priv.decrypt_i64(keys().pub.encrypt_i64(m)), m) << m;
+  }
 }
 
 TEST_F(PaillierFixture, RejectsOutOfRangeCiphertext) {
