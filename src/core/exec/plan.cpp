@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <optional>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "core/cost_model.hpp"
+#include "core/hot_cache.hpp"
 #include "core/wire.hpp"
+#include "doc/binary_codec.hpp"
 #include "store/docstore.hpp"  // compare_values for post-verification
 
 namespace datablinder::core::exec {
@@ -51,20 +55,52 @@ std::vector<Document> Planner::fetch_documents(const CollectionRuntime& rt,
                                                const std::vector<DocId>& ids) const {
   std::vector<Document> out;
   if (ids.empty()) return out;
-  doc::Array arr;
-  arr.reserve(ids.size());
-  for (const auto& id : ids) arr.emplace_back(id);
-  const Bytes reply = cloud_.call(
-      "doc.mget",
-      wire::pack({{"col", Value(rt.schema.name())}, {"ids", Value(std::move(arr))}}));
-  const doc::Object resp = wire::unpack(reply);
-  const doc::Array& found = wire::get_arr(resp, "docs");
-  out.reserve(found.size());
-  // The cloud returns only the ids that still exist, in request order —
-  // index entries pointing at concurrently removed documents are skipped.
-  for (const auto& entry : found) {
-    const doc::Object& e = entry.as_object();
-    out.push_back(rt.open_document(wire::get_str(e, "id"), wire::get_bin(e, "blob")));
+
+  // Hot-path cache: repeated retrievals of the same candidate hit the
+  // decrypted-document cache instead of paying a round trip + AEAD open.
+  // Entries live in the collection's epoch domain — any remove/update
+  // bumps the epoch and drops the whole collection's cached documents.
+  std::unordered_map<DocId, Document> ready;
+  std::vector<DocId> missing;
+  if (cache_ != nullptr) {
+    for (const auto& id : ids) {
+      if (ready.count(id)) continue;
+      if (auto blob = cache_->get("doc/" + rt.schema.name() + "/" + id)) {
+        ready.emplace(id, doc::decode_document(*blob));
+      } else {
+        missing.push_back(id);
+      }
+    }
+  } else {
+    missing = ids;
+  }
+
+  if (!missing.empty()) {
+    doc::Array arr;
+    arr.reserve(missing.size());
+    for (const auto& id : missing) arr.emplace_back(id);
+    const Bytes reply = cloud_.call(
+        "doc.mget",
+        wire::pack({{"col", Value(rt.schema.name())}, {"ids", Value(std::move(arr))}}));
+    const doc::Object resp = wire::unpack(reply);
+    const doc::Array& found = wire::get_arr(resp, "docs");
+    // The cloud returns only the ids that still exist, in request order —
+    // index entries pointing at concurrently removed documents are skipped.
+    for (const auto& entry : found) {
+      const doc::Object& e = entry.as_object();
+      Document d = rt.open_document(wire::get_str(e, "id"), wire::get_bin(e, "blob"));
+      if (cache_ != nullptr) {
+        cache_->put("doc/" + rt.schema.name() + "/" + d.id, doc::encode_document(d),
+                    rt.schema.name());
+      }
+      ready.emplace(d.id, std::move(d));
+    }
+  }
+
+  // Emit in id order; ids absent from `ready` vanished concurrently.
+  out.reserve(ids.size());
+  for (const auto& id : ids) {
+    if (auto it = ready.find(id); it != ready.end()) out.push_back(it->second);
   }
   return out;
 }
@@ -82,10 +118,7 @@ PlanStage Planner::update_stage(CollectionRuntime& rt, std::shared_ptr<DocHolder
   const Document* known = is_insert ? holder->doc : nullptr;
   for (const auto& [field, fp] : rt.plan.fields) {
     if (known && !known->has(field)) continue;
-    auto add = [&, this](std::map<std::string, TacticSlot>& slots, const char* kind) {
-      auto it = slots.find(field);
-      if (it == slots.end()) return;
-      TacticSlot* slot = &it->second;
+    auto add_slot = [&, this](TacticSlot* slot, const char* kind) {
       const std::string f = field;
       stage.steps.push_back(
           {std::string(kind) + ":" + slot->tactic->descriptor().name + ":" + f,
@@ -101,9 +134,19 @@ PlanStage Planner::update_stage(CollectionRuntime& rt, std::shared_ptr<DocHolder
              }
            }});
     };
+    auto add = [&](std::map<std::string, TacticSlot>& slots, const char* kind) {
+      auto it = slots.find(field);
+      if (it != slots.end()) add_slot(&it->second, kind);
+    };
     add(rt.eq, "eq");
     add(rt.range, "range");
     add(rt.agg, "agg");
+    // Adaptive alternates keep their indexes current too — the cost model
+    // may route the next query through any of them without a rebuild, and
+    // removals must clean every index that saw the insert.
+    if (auto ait = rt.range_alts.find(field); ait != rt.range_alts.end()) {
+      for (auto& [alt_name, alt_slot] : ait->second) add_slot(&alt_slot, "range-alt");
+    }
   }
   if (rt.boolean && !(known && rt.boolean_keywords(*known).empty())) {
     CollectionRuntime* rtp = &rt;
@@ -391,13 +434,69 @@ OperationPlan Planner::range_search(CollectionRuntime& rt, const std::string& fi
   p.scratch->id_slots.resize(1);
   auto scratch = p.scratch;
 
-  p.stages.push_back(
-      {"index", {{"range:" + slot->tactic->descriptor().name + ":" + field, &slot->mutex,
-                  /*exclusive=*/false, [this, slot, scratch, &lo, &hi] {
-                    const ScopedPerf perf(perf_, slot->tactic->descriptor().name,
-                                          TacticOperation::kRangeQuery);
-                    scratch->id_slots[0] = slot->tactic->range_search(lo, hi);
-                  }}}});
+  // Adaptive re-planning: rank the leakage-admissible candidates — the
+  // static choice, its instantiated alternates, and the
+  // retrieve-and-post-filter shape (leaks structure only, so admissible at
+  // every class) — by predicted cost at the observed cardinality.
+  bool post_filter = false;
+  if (cost_model_ != nullptr) {
+    const std::string static_name = slot->tactic->descriptor().name;
+    std::vector<CostCandidate> cands;
+    cands.push_back({static_name, &slot->tactic->descriptor().cost});
+    auto ait = rt.range_alts.find(field);
+    if (ait != rt.range_alts.end()) {
+      for (const auto& [alt_name, alt_slot] : ait->second) {
+        cands.push_back({alt_name, &alt_slot.tactic->descriptor().cost});
+      }
+    }
+    cands.push_back({kPostFilterTactic, &post_filter_cost_profile()});
+
+    const CostDecision dec = cost_model_->choose(
+        rt.schema.name() + "/" + field + "/range", static_name, cands,
+        TacticOperation::kRangeQuery, rt.doc_count.load(std::memory_order_relaxed));
+    if (dec.chosen == kPostFilterTactic) {
+      post_filter = true;
+    } else if (dec.chosen != static_name) {
+      slot = &ait->second.at(dec.chosen);
+    }
+    p.cost_series = CostModel::plan_series(dec.chosen);
+
+    std::lock_guard<std::mutex> lock(rt.plan_mutex);
+    FieldPlan& fp = rt.plan.fields.at(field);
+    fp.range_last_choice = dec.chosen;
+    fp.range_chosen_by = dec.chosen_by;
+    fp.range_predicted_us = dec.predicted_us;
+  }
+
+  if (post_filter) {
+    // Post-filter shape: enumerate every id, let the shared resolve stage
+    // bulk-retrieve (through the document cache when present) and the
+    // shared verify stage apply the range predicate after decryption.
+    CollectionRuntime* rtp = &rt;
+    p.stages.push_back(
+        {"index", {{"range:PostFilter:" + field, nullptr,
+                    /*exclusive=*/false, [this, rtp, scratch] {
+                      const ScopedPerf perf(perf_, kPostFilterTactic,
+                                            TacticOperation::kRangeQuery);
+                      const Bytes reply = cloud_.call(
+                          "doc.list",
+                          wire::pack({{"col", Value(rtp->schema.name())}}));
+                      const doc::Object resp = wire::unpack(reply);
+                      for (const auto& v : wire::get_arr(resp, "ids")) {
+                        scratch->id_slots[0].push_back(v.as_string());
+                      }
+                      scratch->approximate = true;
+                    }}}});
+  } else {
+    p.stages.push_back(
+        {"index", {{"range:" + slot->tactic->descriptor().name + ":" + field,
+                    &slot->mutex,
+                    /*exclusive=*/false, [this, slot, scratch, &lo, &hi] {
+                      const ScopedPerf perf(perf_, slot->tactic->descriptor().name,
+                                            TacticOperation::kRangeQuery);
+                      scratch->id_slots[0] = slot->tactic->range_search(lo, hi);
+                    }}}});
+  }
 
   const CollectionRuntime* rtp = &rt;
   p.stages.push_back({"resolve", {{"doc.mget", nullptr, false, [this, rtp, scratch] {

@@ -23,6 +23,9 @@
 
 namespace datablinder::core {
 
+class CostModel;
+class HotCache;
+
 /// One predicate of a boolean query: field == value.
 struct FieldTerm {
   std::string field;
@@ -76,13 +79,27 @@ struct OperationPlan {
   bool inline_only = false;
   std::vector<PlanStage> stages;
   std::shared_ptr<QueryScratch> scratch;  // null for pure mutations
+
+  /// Non-empty under adaptive selection: the "plan.<candidate>" series the
+  /// gateway records this plan's whole-run latency into — the live
+  /// evidence the cost model blends against the static priors.
+  std::string cost_series;
 };
 
 /// Compiles gateway operations into OperationPlans. Stateless apart from
-/// its wiring (cloud channel + perf registry); one instance per gateway.
+/// its wiring (cloud channel + perf registry + optional cache/cost model);
+/// one instance per gateway.
+///
+/// With a cost model attached, range queries re-plan PER QUERY: the
+/// leakage-admissible candidate set (static slot + range_alts + the
+/// retrieve-and-post-filter shape) is ranked by predicted cost at the
+/// observed cardinality, and the winning plan is emitted. Without one,
+/// planning is byte-identical to the static §5.1 behaviour.
 class Planner {
  public:
-  Planner(net::RpcClient& cloud, PerfRegistry& perf) : cloud_(cloud), perf_(perf) {}
+  Planner(net::RpcClient& cloud, PerfRegistry& perf, HotCache* cache = nullptr,
+          CostModel* cost_model = nullptr)
+      : cloud_(cloud), perf_(perf), cache_(cache), cost_model_(cost_model) {}
 
   OperationPlan insert(CollectionRuntime& rt, const doc::Document& d) const;
   OperationPlan remove(CollectionRuntime& rt, const DocId& id) const;
@@ -119,6 +136,8 @@ class Planner {
 
   net::RpcClient& cloud_;
   PerfRegistry& perf_;
+  HotCache* cache_;          // decrypted-document cache (null = off)
+  CostModel* cost_model_;    // adaptive range selection (null = static)
 };
 
 }  // namespace exec

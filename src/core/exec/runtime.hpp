@@ -13,8 +13,11 @@
 // the model is deadlock-free by construction.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -45,6 +48,22 @@ struct CollectionRuntime {
   std::map<std::string, TacticSlot> eq;
   std::map<std::string, TacticSlot> range;
   std::map<std::string, TacticSlot> agg;
+
+  /// Alternative range candidates (field -> tactic name -> slot), present
+  /// only under adaptive selection: every admissible candidate keeps its
+  /// index current (update plans fan out to them too) so the cost model
+  /// can switch the query path without a rebuild.
+  std::map<std::string, std::map<std::string, TacticSlot>> range_alts;
+
+  /// Observed collection cardinality — the n the cost model evaluates
+  /// priors at. Maintained by the gateway on insert/remove; approximate
+  /// under crash recovery, which only flattens the predictions.
+  std::atomic<std::uint64_t> doc_count{0};
+
+  /// Guards the live annotation fields of `plan` (FieldPlan range_last_*):
+  /// the adaptive planner writes them per query while to_table() readers
+  /// may render concurrently.
+  mutable std::mutex plan_mutex;
 
   /// SecureEnc SPI role: the whole document is AEAD-protected and bound to
   /// its id, so the cloud can neither read nor swap blobs between ids.

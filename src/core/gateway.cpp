@@ -36,7 +36,14 @@ Gateway::Gateway(net::RpcClient& cloud, kms::KeyManager& kms,
       registry_(registry),
       config_(std::move(config)),
       policy_(registry),
-      planner_(cloud_, perf_),
+      cache_(config_.hot_cache_capacity > 0
+                 ? std::make_unique<HotCache>(&perf_,
+                                              HotCache::Config{config_.hot_cache_capacity})
+                 : nullptr),
+      cost_model_(config_.adaptive_selection
+                      ? std::make_unique<CostModel>(perf_, config_.cost, cache_.get())
+                      : nullptr),
+      planner_(cloud_, perf_, cache_.get(), cost_model_.get()),
       executor_(perf_, config_.index_workers) {
   if (config_.retry.enabled) cloud_.set_retry_policy(config_.retry);
   if (config_.breaker.enabled) cloud_.channel().breaker().configure(config_.breaker);
@@ -59,6 +66,7 @@ GatewayContext Gateway::make_context(const std::string& collection,
   ctx.collection = collection;
   ctx.field = field;
   ctx.params = config_.tactic_params;
+  ctx.cache = cache_.get();
   return ctx;
 }
 
@@ -89,6 +97,19 @@ void Gateway::register_schema(schema::Schema s) {
     instantiate(fp.eq_tactic, rt->eq);
     instantiate(fp.range_tactic, rt->range);
     instantiate(fp.agg_tactic, rt->agg);
+
+    // Adaptive selection: instantiate every other admissible range
+    // candidate too, so the cost model can reroute queries without an
+    // index rebuild. With adaptation off this loop body never runs and
+    // the runtime is identical to the static build.
+    if (config_.adaptive_selection) {
+      for (std::size_t i = 1; i < fp.range_candidates.size(); ++i) {
+        const std::string& alt = fp.range_candidates[i];
+        auto t = registry_.create_field(alt, make_context(name, field));
+        t->setup();
+        rt->range_alts[field][alt].tactic = std::move(t);
+      }
+    }
   }
 
   std::lock_guard lock(collections_mutex_);
@@ -173,11 +194,13 @@ DocId Gateway::insert(const std::string& collection, Document d) {
       auto plan = planner_.insert(rt, d);
       executor_.run(plan);
     });
+    rt.doc_count.fetch_add(1, std::memory_order_relaxed);
     return d.id;
   }
 
   auto plan = planner_.insert(rt, d);
   executor_.run(plan);
+  rt.doc_count.fetch_add(1, std::memory_order_relaxed);
   return d.id;
 }
 
@@ -213,6 +236,7 @@ std::vector<DocId> Gateway::insert_many(const std::string& collection,
     // ships. (Bulk retry goes through recover_pending_inserts(), not the
     // per-id fast path of insert().)
     journaled_run(collection, ids, run_all);
+    rt.doc_count.fetch_add(ids.size(), std::memory_order_relaxed);
     return ids;
   }
 
@@ -224,6 +248,7 @@ std::vector<DocId> Gateway::insert_many(const std::string& collection,
     throw;
   }
   cloud_.flush_deferred();
+  rt.doc_count.fetch_add(ids.size(), std::memory_order_relaxed);
   return ids;
 }
 
@@ -238,6 +263,14 @@ void Gateway::remove(const std::string& collection, const DocId& id) {
   exec::CollectionRuntime& rt = runtime(collection);
   auto plan = planner_.remove(rt, id);
   executor_.run(plan);
+  // Saturating decrement: the count is approximate under recovery.
+  std::uint64_t n = rt.doc_count.load(std::memory_order_relaxed);
+  while (n > 0 &&
+         !rt.doc_count.compare_exchange_weak(n, n - 1, std::memory_order_relaxed)) {
+  }
+  // Any removal (update = remove + insert) may orphan cached documents of
+  // this collection: bump the epoch so they all go stale at once.
+  if (cache_ != nullptr) cache_->bump_epoch(collection);
 }
 
 void Gateway::update(const std::string& collection, Document d) {
@@ -268,7 +301,14 @@ std::vector<Document> Gateway::range_search(const std::string& collection,
                                             const Value& hi) {
   exec::CollectionRuntime& rt = runtime(collection);
   auto plan = planner_.range_search(rt, field, lo, hi);
-  executor_.run(plan);
+  if (!plan.cost_series.empty()) {
+    // Whole-plan latency under "plan.<candidate>" — the live evidence the
+    // cost model blends against the static priors next time it ranks.
+    const ScopedPerf perf(perf_, plan.cost_series, TacticOperation::kRangeQuery);
+    executor_.run(plan);
+  } else {
+    executor_.run(plan);
+  }
   return std::move(plan.scratch->docs);
 }
 

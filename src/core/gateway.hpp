@@ -24,10 +24,12 @@
 #include <string>
 #include <vector>
 
+#include "core/cost_model.hpp"
 #include "core/exec/executor.hpp"
 #include "core/exec/intent_journal.hpp"
 #include "core/exec/plan.hpp"
 #include "core/exec/runtime.hpp"
+#include "core/hot_cache.hpp"
 #include "core/metrics.hpp"
 #include "core/policy.hpp"
 #include "core/registry.hpp"
@@ -58,6 +60,21 @@ struct GatewayConfig {
   /// complete after the batch lands (see exec::IntentJournal). Default off
   /// to keep the seed's per-call round-trip profile.
   bool journal_inserts = false;
+
+  /// Adaptive cost-based range selection: when true, every admissible
+  /// range candidate is instantiated alongside the static choice and the
+  /// planner re-ranks them per query by predicted cost (CostModel). When
+  /// false (default) selection is byte-identical to the static §5.1 table.
+  bool adaptive_selection = false;
+
+  /// Tuning knobs for the adaptive cost model (ignored unless
+  /// adaptive_selection is on).
+  CostModel::Config cost;
+
+  /// Entry capacity of the gateway hot cache (trapdoors, deterministic
+  /// labels, Montgomery contexts, decrypted documents). 0 (default)
+  /// disables the cache entirely.
+  std::size_t hot_cache_capacity = 0;
 };
 
 class Gateway {
@@ -139,6 +156,13 @@ class Gateway {
   const PerfRegistry& perf() const noexcept { return perf_; }
   PerfRegistry& perf() noexcept { return perf_; }
 
+  /// The gateway hot cache, or nullptr when hot_cache_capacity is 0.
+  const HotCache* cache() const noexcept { return cache_.get(); }
+  HotCache* cache() noexcept { return cache_.get(); }
+
+  /// The adaptive cost model, or nullptr when adaptive_selection is off.
+  const CostModel* cost_model() const noexcept { return cost_model_.get(); }
+
  private:
   exec::CollectionRuntime& runtime(const std::string& collection);
   const exec::CollectionRuntime& runtime(const std::string& collection) const;
@@ -161,6 +185,8 @@ class Gateway {
   GatewayConfig config_;
   PolicyEngine policy_;
   PerfRegistry perf_;
+  std::unique_ptr<HotCache> cache_;      // before planner_: planner holds the pointer
+  std::unique_ptr<CostModel> cost_model_;
   exec::Planner planner_;
   exec::Executor executor_;
   std::unique_ptr<exec::IntentJournal> journal_;

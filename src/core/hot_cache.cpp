@@ -1,0 +1,101 @@
+#include "core/hot_cache.hpp"
+
+#include "common/hex.hpp"
+#include "core/metrics.hpp"
+
+namespace datablinder::core {
+
+HotCache::HotCache(PerfRegistry* perf, Config config)
+    : config_(config), perf_(perf) {}
+
+bool HotCache::stale(const Entry& e) const {
+  if (e.domain.empty()) return false;
+  auto it = epochs_.find(e.domain);
+  return it != epochs_.end() && it->second != e.epoch;
+}
+
+void HotCache::erase_locked(std::unordered_map<std::string, Entry>::iterator it) {
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);  // SecretBytes destructor wipes the value
+}
+
+void HotCache::note(const char* series, std::atomic<std::uint64_t>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+  if (perf_ != nullptr) perf_->incr(series);
+}
+
+void HotCache::put(const std::string& key, BytesView value,
+                   const std::string& epoch_domain) {
+  if (config_.capacity == 0) return;
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) erase_locked(it);
+  while (entries_.size() >= config_.capacity) {
+    auto victim = entries_.find(lru_.back());
+    erase_locked(victim);
+    note("core.cache.evictions", evictions_);
+  }
+  lru_.push_front(key);
+  Entry e;
+  e.value = SecretBytes::from_view(value);
+  e.domain = epoch_domain;
+  if (!epoch_domain.empty()) e.epoch = epochs_[epoch_domain];
+  e.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(e));
+}
+
+std::optional<Bytes> HotCache::get(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    note("core.cache.misses", misses_);
+    return std::nullopt;
+  }
+  if (stale(it->second)) {
+    erase_locked(it);
+    note("core.cache.misses", misses_);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  note("core.cache.hits", hits_);
+  // The cache is the sanctioned wipe-disciplined holder of secret-derived
+  // values; this unwrap hands the caller a transient working copy.
+  const BytesView v = it->second.value.expose_secret();
+  return Bytes(v.begin(), v.end());
+}
+
+void HotCache::erase(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  erase_locked(it);
+  note("core.cache.invalidations", invalidations_);
+}
+
+void HotCache::bump_epoch(const std::string& domain) {
+  std::lock_guard lock(mutex_);
+  ++epochs_[domain];
+  note("core.cache.invalidations", invalidations_);
+}
+
+std::shared_ptr<const bigint::Montgomery> HotCache::montgomery(
+    const bigint::BigInt& modulus) {
+  const std::string key = hex_encode(modulus.to_bytes());
+  std::lock_guard lock(mutex_);
+  auto& slot = montgomery_[key];
+  if (!slot) slot = std::make_shared<const bigint::Montgomery>(modulus);
+  return slot;
+}
+
+std::size_t HotCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+double HotCache::hit_ratio() const noexcept {
+  const std::uint64_t h = hits();
+  const std::uint64_t m = misses();
+  return (h + m) == 0 ? 0.0 : static_cast<double>(h) / static_cast<double>(h + m);
+}
+
+}  // namespace datablinder::core

@@ -1,28 +1,79 @@
 #include "core/metrics.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 namespace datablinder::core {
 
+void PerfSeries::observe(std::uint64_t ns) {
+  const double us = static_cast<double>(ns) / 1e3;
+  {
+    std::lock_guard lock(mutex_);
+    total_ns_ += ns;
+    if (ns > max_ns_) max_ns_ = ns;
+    ring_us_[ring_next_] = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(ns / 1000, 0xFFFFFFFFull));
+    ring_next_ = (ring_next_ + 1) % kWindow;
+    // EWMA updated under the same lock (single writer per sample), read
+    // lock-free elsewhere. First sample seeds the average directly.
+    const double prev = ewma_us_.load(std::memory_order_relaxed);
+    const std::uint64_t n = count_.load(std::memory_order_relaxed);
+    ewma_us_.store(n == 0 ? us : prev + kAlpha * (us - prev),
+                   std::memory_order_relaxed);
+    count_.store(n + 1, std::memory_order_relaxed);
+  }
+}
+
+OpStats PerfSeries::stats() const {
+  OpStats s;
+  std::lock_guard lock(mutex_);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.total_ns = total_ns_;
+  s.max_ns = max_ns_;
+  s.ewma_us = ewma_us_.load(std::memory_order_relaxed);
+  const std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(s.count, kWindow));
+  if (n > 0) {
+    std::vector<std::uint32_t> window;
+    window.reserve(n);
+    // Ring fill order does not matter for quantiles; take the first n slots
+    // (exactly the occupied ones until the ring wraps, all of them after).
+    window.assign(ring_us_.begin(), ring_us_.begin() + n);
+    std::sort(window.begin(), window.end());
+    s.p50_us = static_cast<double>(window[(n - 1) / 2]);
+    s.p95_us = static_cast<double>(window[(n * 95) / 100 >= n ? n - 1 : (n * 95) / 100]);
+  }
+  return s;
+}
+
+PerfSeries& PerfRegistry::series(const std::string& tactic, TacticOperation op) {
+  std::lock_guard lock(mutex_);
+  auto& slot = series_[{tactic, op}];
+  if (!slot) slot = std::make_unique<PerfSeries>();
+  return *slot;
+}
+
 void PerfRegistry::record(const std::string& tactic, TacticOperation op,
                           std::uint64_t ns) {
-  std::lock_guard lock(mutex_);
-  OpStats& s = series_[{tactic, op}];
-  ++s.count;
-  s.total_ns += ns;
-  if (ns > s.max_ns) s.max_ns = ns;
+  series(tactic, op).observe(ns);
+}
+
+const PerfSeries* PerfRegistry::handle(const std::string& tactic, TacticOperation op) {
+  return &series(tactic, op);
 }
 
 std::map<std::pair<std::string, TacticOperation>, OpStats> PerfRegistry::snapshot()
     const {
+  std::map<std::pair<std::string, TacticOperation>, OpStats> out;
   std::lock_guard lock(mutex_);
-  return series_;
+  for (const auto& [key, s] : series_) out.emplace(key, s->stats());
+  return out;
 }
 
 OpStats PerfRegistry::stats(const std::string& tactic, TacticOperation op) const {
   std::lock_guard lock(mutex_);
   auto it = series_.find({tactic, op});
-  return it == series_.end() ? OpStats{} : it->second;
+  return it == series_.end() ? OpStats{} : it->second->stats();
 }
 
 void PerfRegistry::incr(const std::string& series, std::uint64_t delta) {
@@ -44,13 +95,14 @@ std::map<std::string, std::uint64_t> PerfRegistry::counters() const {
 std::string PerfRegistry::report() const {
   const auto snap = snapshot();
   std::ostringstream out;
-  out << "tactic       operation         count    mean/us     max/us\n";
-  char line[128];
+  out << "tactic       operation         count    mean/us    ewma/us     p50/us     p95/us     max/us\n";
+  char line[192];
   for (const auto& [key, s] : snap) {
-    std::snprintf(line, sizeof(line), "%-12s %-16s %7llu %10.1f %10.1f\n",
+    std::snprintf(line, sizeof(line),
+                  "%-12s %-16s %7llu %10.1f %10.1f %10.1f %10.1f %10.1f\n",
                   key.first.c_str(), to_string(key.second).c_str(),
-                  static_cast<unsigned long long>(s.count), s.mean_us(),
-                  static_cast<double>(s.max_ns) / 1e3);
+                  static_cast<unsigned long long>(s.count), s.mean_us(), s.ewma_us,
+                  s.p50_us, s.p95_us, static_cast<double>(s.max_ns) / 1e3);
     out << line;
   }
   const auto counts = counters();
@@ -67,7 +119,7 @@ std::string PerfRegistry::report() const {
 
 void PerfRegistry::reset() {
   std::lock_guard lock(mutex_);
-  series_.clear();
+  series_.clear();  // invalidates handles; callers re-resolve after reset
   counters_.clear();
 }
 

@@ -6,11 +6,22 @@
 // here, keyed by (tactic, operation). Operators read the report to see
 // where a policy's cost actually lands — e.g. that Paillier aggregates
 // dominate, the observation §5.2 makes about the evaluation numbers.
+//
+// Beyond the cumulative count/total/max, every series maintains a *live
+// cost signal* for the adaptive selection loop (cost_model.hpp): a decayed
+// EWMA of the per-call latency plus a bounded ring of recent samples from
+// which streaming p50/p95 are computed on demand. The ring doubles as the
+// decay mechanism — only the last kWindow samples shape the quantiles and
+// the blending weight, so a tactic that was slow under an old data size
+// ages out instead of haunting the model.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -22,10 +33,48 @@ struct OpStats {
   std::uint64_t count = 0;
   std::uint64_t total_ns = 0;
   std::uint64_t max_ns = 0;
+  double ewma_us = 0.0;  // decayed per-call latency (alpha = 1/8)
+  double p50_us = 0.0;   // median of the recent-sample window
+  double p95_us = 0.0;
 
   double mean_us() const {
     return count == 0 ? 0.0 : static_cast<double>(total_ns) / static_cast<double>(count) / 1e3;
   }
+};
+
+/// One (tactic, operation) series with a stable address. The fields the
+/// cost model polls per candidate per query — EWMA and recent-sample count
+/// — are plain atomics, so hot-loop readers never touch the registry mutex
+/// (or even this series' own mutex). Mutation and quantile extraction
+/// serialize on the per-series mutex.
+class PerfSeries {
+ public:
+  static constexpr std::size_t kWindow = 128;   // recent-sample ring size
+  static constexpr double kAlpha = 0.125;       // EWMA decay per sample
+
+  /// Lock-free fast reads for the selection hot loop.
+  double ewma_us() const noexcept { return ewma_us_.load(std::memory_order_relaxed); }
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  /// Samples currently in the decay window (saturates at kWindow) — the
+  /// "how much recent evidence" input to the prior/observed blend.
+  std::uint64_t recent_count() const noexcept {
+    return std::min<std::uint64_t>(count(), kWindow);
+  }
+
+  void observe(std::uint64_t ns);
+
+  /// Cumulative + windowed view (takes the series mutex; sorts the ring).
+  OpStats stats() const;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> ewma_us_{0.0};
+
+  mutable std::mutex mutex_;  // guards everything below
+  std::uint64_t total_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+  std::array<std::uint32_t, kWindow> ring_us_{};  // recent samples, circular
+  std::size_t ring_next_ = 0;
 };
 
 class PerfRegistry {
@@ -38,12 +87,18 @@ class PerfRegistry {
   /// Stats for one (tactic, operation) pair (zeroes if never recorded).
   OpStats stats(const std::string& tactic, TacticOperation op) const;
 
+  /// Stable handle for repeated lock-free reads of one series — resolve
+  /// once, then poll ewma_us()/recent_count() per query without ever
+  /// re-taking the registry mutex. The series is created empty if it was
+  /// never recorded; handles stay valid until reset().
+  const PerfSeries* handle(const std::string& tactic, TacticOperation op);
+
   // --- named counters ------------------------------------------------------
   //
   // Event series that are counts rather than latencies — retry attempts,
-  // breaker trips, journal resumes ("net.retry.*", "net.breaker.*",
-  // "core.journal.*"). Kept alongside the latency table so one registry
-  // snapshot covers the whole middleware.
+  // breaker trips, journal resumes, cache traffic ("net.retry.*",
+  // "net.breaker.*", "core.journal.*", "core.cache.*"). Kept alongside the
+  // latency table so one registry snapshot covers the whole middleware.
 
   void incr(const std::string& series, std::uint64_t delta = 1);
   std::uint64_t counter(const std::string& series) const;
@@ -55,8 +110,12 @@ class PerfRegistry {
   void reset();
 
  private:
+  PerfSeries& series(const std::string& tactic, TacticOperation op);
+
   mutable std::mutex mutex_;
-  std::map<std::pair<std::string, TacticOperation>, OpStats> series_;
+  // unique_ptr: PerfSeries addresses must survive map rehash/rebalance so
+  // handle() pointers stay valid.
+  std::map<std::pair<std::string, TacticOperation>, std::unique_ptr<PerfSeries>> series_;
   std::map<std::string, std::uint64_t> counters_;
 };
 

@@ -1,6 +1,7 @@
 #include "core/policy.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <sstream>
 
 #include "common/logging.hpp"
@@ -154,6 +155,19 @@ CollectionPlan PolicyEngine::select(const schema::Schema& s) const {
       fp.range_tactic = chosen;
       apply(chosen);
       reasons.push_back("Range queries");
+      // Admissibility filter output for the cost model: every range tactic
+      // within the bound, static choice first, the rest in the static
+      // ranking order best_within would have used for them.
+      fp.range_candidates.push_back(chosen);
+      std::vector<std::pair<int, std::string>> rest;
+      for (const auto& name : serving(Operation::kRange)) {
+        if (name == chosen) continue;
+        const auto& d = registry_.descriptor(name);
+        if (!admissible_within(d, ann.protection)) continue;
+        rest.emplace_back(class_value(d.protection_class) * 1000 + d.preference, name);
+      }
+      std::sort(rest.begin(), rest.end(), std::greater<>());
+      for (auto& [rank, name] : rest) fp.range_candidates.push_back(name);
     }
 
     // --- aggregates ---------------------------------------------------------
@@ -207,19 +221,36 @@ CollectionPlan PolicyEngine::select(const schema::Schema& s) const {
 
 std::string CollectionPlan::to_table() const {
   std::ostringstream out;
-  out << "Sensitives      | Tactic Selection      | Reason\n";
-  out << "----------------+-----------------------+-------------------------------\n";
+  out << "Sensitives      | Tactic Selection      | Reason                         "
+         "| Predicted cost / chosen-by\n";
+  out << "----------------+-----------------------+--------------------------------"
+         "+---------------------------\n";
   for (const auto& [field, fp] : fields) {
     std::string tactics;
     for (std::size_t i = 0; i < fp.tactics.size(); ++i) {
       if (i) tactics += ", ";
       tactics += fp.tactics[i];
     }
+    // Column 4: why the adaptive engine did (or did not) deviate from the
+    // static §5.1 choice for this field's range plan.
+    std::string annot = "-";
+    if (!fp.range_tactic.empty()) {
+      if (fp.range_last_choice.empty()) {
+        annot = "static table";
+      } else {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%s %.0fus (%s)", fp.range_last_choice.c_str(),
+                      fp.range_predicted_us, fp.range_chosen_by.c_str());
+        annot = buf;
+      }
+    }
     out << field;
     for (std::size_t i = field.size(); i < 16; ++i) out << ' ';
     out << "| " << tactics;
     for (std::size_t i = tactics.size(); i < 22; ++i) out << ' ';
-    out << "| " << fp.reason << "\n";
+    out << "| " << fp.reason;
+    for (std::size_t i = fp.reason.size(); i < 31; ++i) out << ' ';
+    out << "| " << annot << "\n";
   }
   return out.str();
 }

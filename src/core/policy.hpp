@@ -39,6 +39,19 @@ struct FieldPlan {
   schema::ProtectionClass effective = schema::ProtectionClass::kClass1;
   /// Human-readable rationale (selection table column 3).
   std::string reason;
+
+  /// Every admissible range tactic, static choice first, then descending
+  /// (class, preference) — the candidate set the adaptive cost model
+  /// re-ranks per query. Populated whenever range_tactic is; with
+  /// adaptation off only the first entry is ever instantiated.
+  std::vector<std::string> range_candidates;
+
+  // --- live annotation (selection table column 4) --------------------------
+  // Written by the adaptive planner under the runtime's plan mutex; stays
+  // at the defaults when adaptation is off.
+  std::string range_last_choice;             // empty until adaptively planned
+  std::string range_chosen_by = "static";    // CostDecision::chosen_by
+  double range_predicted_us = 0.0;
 };
 
 struct CollectionPlan {

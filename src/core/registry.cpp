@@ -1,5 +1,7 @@
 #include "core/registry.hpp"
 
+#include <cmath>
+
 #include "common/status.hpp"
 
 namespace datablinder::core {
@@ -19,6 +21,24 @@ Status validate_descriptor_leakage(const TacticDescriptor& descriptor) {
   return Status::OK();
 }
 
+Status validate_descriptor_cost(const TacticDescriptor& descriptor) {
+  for (const auto& [op, prior] : descriptor.cost.ops) {
+    if (!std::isfinite(prior.base_us) || prior.base_us < 0.0 ||
+        !std::isfinite(prior.per_unit_us) || prior.per_unit_us < 0.0) {
+      return Status::Failure(ErrorCode::kInvalidArgument,
+                             "tactic '" + descriptor.name + "': cost prior for " +
+                                 to_string(op) + " has a negative or non-finite constant");
+    }
+    if (!descriptor.operations.count(op)) {
+      return Status::Failure(ErrorCode::kInvalidArgument,
+                             "tactic '" + descriptor.name + "': cost prior for " +
+                                 to_string(op) +
+                                 " has no matching leakage declaration");
+    }
+  }
+  return Status::OK();
+}
+
 void TacticRegistry::register_field_tactic(TacticDescriptor descriptor,
                                            FieldFactory factory) {
   const std::string name = descriptor.name;
@@ -26,6 +46,7 @@ void TacticRegistry::register_field_tactic(TacticDescriptor descriptor,
     throw_error(ErrorCode::kAlreadyExists, "registry: duplicate tactic " + name);
   }
   validate_descriptor_leakage(descriptor).throw_if_error();
+  validate_descriptor_cost(descriptor).throw_if_error();
   entries_.emplace(name, Entry{std::move(descriptor), std::move(factory), nullptr});
   order_.push_back(name);
 }
@@ -37,6 +58,7 @@ void TacticRegistry::register_boolean_tactic(TacticDescriptor descriptor,
     throw_error(ErrorCode::kAlreadyExists, "registry: duplicate tactic " + name);
   }
   validate_descriptor_leakage(descriptor).throw_if_error();
+  validate_descriptor_cost(descriptor).throw_if_error();
   entries_.emplace(name, Entry{std::move(descriptor), nullptr, std::move(factory)});
   order_.push_back(name);
 }

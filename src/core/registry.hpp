@@ -26,6 +26,12 @@ namespace datablinder::core {
 /// admissible.
 Status validate_descriptor_leakage(const TacticDescriptor& descriptor);
 
+/// Checks a descriptor's cost priors: calibration constants must be finite
+/// and non-negative, and every costed operation must also be declared in
+/// the leakage table — a cost entry for an undeclared operation means the
+/// two reifications of the same operation set have drifted apart.
+Status validate_descriptor_cost(const TacticDescriptor& descriptor);
+
 class TacticRegistry {
  public:
   using FieldFactory = std::function<std::unique_ptr<FieldTactic>(const GatewayContext&)>;

@@ -9,6 +9,7 @@
 // TacticRegistry (strategy pattern).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -69,6 +70,49 @@ struct OperationProfile {
   int round_trips = 1;
 };
 
+/// Asymptotic shape of an operation's predicted cost in the observed
+/// collection cardinality n (the machine-readable twin of the
+/// OperationProfile::complexity prose).
+enum class CostShape : std::uint8_t {
+  kConstant,   // base
+  kLogN,       // base + per_unit * log2(1 + n)
+  kLinear,     // base + per_unit * n
+  kLogNPlusK,  // base + per_unit * (log2(1+n) + selectivity * n)  — index
+               // descent plus K = selectivity*n per-result work
+};
+
+struct OpCostPrior {
+  CostShape shape = CostShape::kConstant;
+  /// Fixed per-call cost: crypto + one round trip. Calibration constants
+  /// are seeded from BENCH_crypto.json (see each tactic's table).
+  double base_us = 0.0;
+  /// Cost per scale unit under `shape`.
+  double per_unit_us = 0.0;
+};
+
+/// Static cost priors, one per operation — what the cost model falls back
+/// on for a tactic that has never executed (and blends with live EWMA
+/// evidence once it has).
+struct CostProfile {
+  std::map<TacticOperation, OpCostPrior> ops;
+
+  double predict_us(TacticOperation op, std::uint64_t n, double selectivity) const {
+    auto it = ops.find(op);
+    if (it == ops.end()) return 0.0;
+    const OpCostPrior& p = it->second;
+    const double nn = static_cast<double>(n);
+    switch (p.shape) {
+      case CostShape::kConstant: return p.base_us;
+      case CostShape::kLogN: return p.base_us + p.per_unit_us * std::log2(1.0 + nn);
+      case CostShape::kLinear: return p.base_us + p.per_unit_us * nn;
+      case CostShape::kLogNPlusK:
+        return p.base_us +
+               p.per_unit_us * (std::log2(1.0 + nn) + selectivity * nn);
+    }
+    return p.base_us;
+  }
+};
+
 /// Static description of a tactic — everything the policy engine and the
 /// Table 2 reproduction need.
 struct TacticDescriptor {
@@ -89,12 +133,17 @@ struct TacticDescriptor {
   std::string challenge;
   /// Tie-break preference when several tactics qualify (higher wins).
   int preference = 0;
+  /// Static cost priors for the adaptive cost model (cost_model.hpp).
+  /// Empty profiles predict 0 — the model then leans entirely on observed
+  /// evidence for this tactic.
+  CostProfile cost;
   /// True when equality predicates can be folded into this tactic's
   /// boolean queries (the paper's §5.1 selects only BIEX for [EQ, BL]).
   bool boolean_covers_equality = false;
 };
 
 class PerfRegistry;
+class HotCache;
 
 /// Everything a gateway-side tactic implementation receives (the "tactic
 /// commonalities" of §4.2: cloud channel, key management, local repository,
@@ -104,6 +153,7 @@ struct GatewayContext {
   store::KvStore* local_store = nullptr;   // gateway-side repository (Redis role)
   kms::KeyManager* kms = nullptr;          // key management integration
   PerfRegistry* perf = nullptr;            // gateway metrics (null in bare tests)
+  HotCache* cache = nullptr;               // hot-path cache (null = caching off)
   std::string collection;
   std::string field;  // empty for collection-scoped (boolean) tactics
 

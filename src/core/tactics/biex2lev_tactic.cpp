@@ -37,6 +37,13 @@ const TacticDescriptor& Biex2LevTactic::static_descriptor() {
                           SpiInterface::kRetrieval};
     t.challenge = "Storage impl. complexity";
     t.preference = 10;  // read-optimized default over BIEX-ZMF
+    // Calibration: pair-expanded updates (|W|^2 dict writes per document);
+    // queries pay per-candidate fetch/open like every SSE tactic.
+    t.cost.ops = {
+        {TacticOperation::kInsert, {CostShape::kConstant, 180.0, 0.0}},
+        {TacticOperation::kDelete, {CostShape::kConstant, 180.0, 0.0}},
+        {TacticOperation::kBooleanSearch, {CostShape::kLogNPlusK, 120.0, 50.0}},
+    };
     return t;
   }();
   return d;

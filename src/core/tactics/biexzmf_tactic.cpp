@@ -38,6 +38,13 @@ const TacticDescriptor& BiexZmfTactic::static_descriptor() {
                           SpiInterface::kRetrieval};
     t.challenge = "Storage impl. complexity";
     t.preference = 5;  // space-optimized alternative; 2Lev is the default
+    // Calibration: per-keyword filter builds on update; probe-heavy
+    // queries with gateway re-verification of false positives.
+    t.cost.ops = {
+        {TacticOperation::kInsert, {CostShape::kConstant, 220.0, 0.0}},
+        {TacticOperation::kDelete, {CostShape::kConstant, 220.0, 0.0}},
+        {TacticOperation::kBooleanSearch, {CostShape::kLinear, 150.0, 12.0}},
+    };
     return t;
   }();
   return d;

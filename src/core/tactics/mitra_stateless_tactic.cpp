@@ -31,6 +31,12 @@ const TacticDescriptor& MitraStatelessTactic::static_descriptor() {
                           SpiInterface::kRetrieval};
     t.challenge = "Update-pattern leakage";  // the stateless trade-off
     t.preference = 3;  // below Mitra unless explicitly promoted
+    // Calibration: every update pays an extra counter-fetch round trip.
+    t.cost.ops = {
+        {TacticOperation::kInsert, {CostShape::kConstant, 120.0, 0.0}},
+        {TacticOperation::kDelete, {CostShape::kConstant, 120.0, 0.0}},
+        {TacticOperation::kEqualitySearch, {CostShape::kLinear, 100.0, 6.0}},
+    };
     return t;
   }();
   return d;

@@ -28,6 +28,14 @@ const TacticDescriptor& OreTactic::static_descriptor() {
                           SpiInterface::kDeletion};
     t.challenge = "-";
     t.preference = 5;
+    // Calibration: right-ciphertext build is block*slot PRF work (~200us);
+    // queries pay one comparison per stored row server-side plus the
+    // selectivity-scaled fetch/open cost folded into per_unit.
+    t.cost.ops = {
+        {TacticOperation::kInsert, {CostShape::kConstant, 220.0, 0.0}},
+        {TacticOperation::kDelete, {CostShape::kConstant, 30.0, 0.0}},
+        {TacticOperation::kRangeQuery, {CostShape::kLinear, 80.0, 6.0}},
+    };
     return t;
   }();
   return d;

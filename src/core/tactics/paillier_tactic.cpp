@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/hot_cache.hpp"
 #include "core/metrics.hpp"
 #include "core/tactics/builtin.hpp"
 #include "core/wire.hpp"
@@ -35,6 +36,14 @@ const TacticDescriptor& PaillierTactic::static_descriptor() {
                           SpiInterface::kAggFunction};
     t.challenge = "Key management";
     t.preference = 10;
+    // Calibration: Paillier encrypt with the Montgomery randomizer pool
+    // (~700us at 2048-bit n^2, BENCH_crypto BM_PaillierEncrypt); aggregates
+    // fold server-side and pay one CRT decrypt at the gateway.
+    t.cost.ops = {
+        {TacticOperation::kInsert, {CostShape::kConstant, 700.0, 0.0}},
+        {TacticOperation::kSum, {CostShape::kLinear, 500.0, 2.0}},
+        {TacticOperation::kAverage, {CostShape::kLinear, 500.0, 2.0}},
+    };
     return t;
   }();
   return d;
@@ -84,6 +93,16 @@ void PaillierTactic::setup() {
   }
   // Montgomery contexts + optional randomizer pool ("paillier_pool" = pool
   // low-water mark, 0 disables) + CRT residue system when p/q are known.
+  // The keypair is persisted, so re-registrations see the same modulus:
+  // draw the contexts from the gateway's shared per-modulus store when a
+  // hot cache is wired, and let init_fast_paths keep them (idempotent).
+  if (ctx_.cache != nullptr) {
+    if (keys_->pub.n_squared.is_zero()) {
+      keys_->pub.n_squared = keys_->pub.n * keys_->pub.n;
+    }
+    keys_->pub.mont_n = ctx_.cache->montgomery(keys_->pub.n);
+    keys_->pub.mont_n2 = ctx_.cache->montgomery(keys_->pub.n_squared);
+  }
   const int pool = ctx_.param_int("paillier_pool", 0);
   keys_->pub.init_fast_paths(pool > 0 ? static_cast<std::size_t>(pool) : 0);
   keys_->priv.pub = keys_->pub;

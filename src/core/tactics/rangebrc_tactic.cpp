@@ -37,6 +37,13 @@ const TacticDescriptor& RangeBrcTactic::static_descriptor() {
     // policy still prefers leakier-but-cheaper; RangeBRC wins only when
     // the class bound excludes order leakage.
     t.preference = 2;
+    // Calibration: 64 dyadic-level SSE updates per insert; queries issue
+    // O(log n) cover-node searches plus selectivity-scaled fetch/open.
+    t.cost.ops = {
+        {TacticOperation::kInsert, {CostShape::kConstant, 1300.0, 0.0}},
+        {TacticOperation::kDelete, {CostShape::kConstant, 1300.0, 0.0}},
+        {TacticOperation::kRangeQuery, {CostShape::kLogNPlusK, 100.0, 50.0}},
+    };
     return t;
   }();
   return d;

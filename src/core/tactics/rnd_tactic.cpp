@@ -26,6 +26,12 @@ const TacticDescriptor& RndTactic::static_descriptor() {
                           SpiInterface::kEqQuery, SpiInterface::kSetup};
     t.challenge = "Inefficiency";
     t.preference = 10;
+    // RND's equality IS the retrieve-and-post-filter shape: every document
+    // travels and is AEAD-opened at the gateway (~45us each + mget share).
+    t.cost.ops = {
+        {TacticOperation::kInsert, {CostShape::kConstant, 1.0, 0.0}},
+        {TacticOperation::kEqualitySearch, {CostShape::kLinear, 120.0, 55.0}},
+    };
     return t;
   }();
   return d;

@@ -9,8 +9,10 @@
 #include <set>
 #include <thread>
 
+#include "bigint/bigint.hpp"
 #include "core/cloud_node.hpp"
 #include "core/gateway.hpp"
+#include "core/hot_cache.hpp"
 #include "core/tactics/builtin.hpp"
 #include "fhir/observation.hpp"
 #include "store/kvstore.hpp"
@@ -363,6 +365,59 @@ TEST(ConcurrencyTest, ChannelConfigMutationRacesTransfers) {
   // Every attempted transfer (delivered or faulted) got a unique ordinal.
   EXPECT_EQ(ch.transfers(), completed.load());
   EXPECT_EQ(ch.stats().bytes_sent.load() % 64, 0u);
+}
+
+TEST(ConcurrencyTest, HotCacheReadsRaceInvalidation) {
+  // The gateway's hot cache serves trapdoors and decrypted documents from
+  // query threads while mutating operations bump epochs and erase keys.
+  // Racing readers against invalidators must stay TSan-clean: a get sees
+  // a fresh value or a miss, never a torn entry, and the counters balance.
+  core::HotCache cache(nullptr, core::HotCache::Config{64});
+  constexpr int kReaders = 4;
+  constexpr int kOps = 2000;
+  std::atomic<std::uint64_t> served{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&cache, &served, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key = "doc/obs/" + std::to_string(i % 97);
+        const auto cached = cache.get(key);
+        if (cached.has_value()) {
+          // Values are never torn: each entry is one byte tagged by its
+          // writer, re-put whole.
+          ASSERT_EQ(cached->size(), 1u);
+          served.fetch_add(1);
+        } else {
+          cache.put(key, Bytes{static_cast<std::uint8_t>(t)}, "obs");
+        }
+        if (i % 31 == 0) {
+          cache.montgomery(bigint::BigInt(257));  // shared, never evicted
+        }
+      }
+    });
+  }
+  // Fixed iteration count (not a stop flag): the invalidator is
+  // guaranteed its bumps even if the scheduler starves it until the
+  // readers are done, so the counter floor below is deterministic.
+  threads.emplace_back([&cache] {
+    for (int n = 1; n <= 600; ++n) {
+      if (n % 3 == 0) {
+        cache.bump_epoch("obs");
+      } else {
+        cache.erase("doc/obs/" + std::to_string(n % 97));
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : threads) t.join();
+
+  EXPECT_LE(cache.size(), 64u);
+  EXPECT_EQ(cache.hits(), served.load());
+  EXPECT_GE(cache.invalidations(), 1u);
+  // Montgomery contexts dedupe to one shared instance per modulus.
+  EXPECT_EQ(cache.montgomery(bigint::BigInt(257)),
+            cache.montgomery(bigint::BigInt(257)));
 }
 
 }  // namespace

@@ -1,4 +1,4 @@
-// dblint rule tests: every rule (R1–R9) must fire on a bad fixture, stay
+// dblint rule tests: every rule (R1–R10) must fire on a bad fixture, stay
 // quiet on the matching good fixture, honour `// dblint:allow(<rule>)`
 // escapes, and — via DBLINT_REPO_ROOT — report the real tree clean.
 #include <gtest/gtest.h>
@@ -133,6 +133,48 @@ TEST(DblintExpose, AllowEscapeSuppresses) {
   const std::string escaped =
       "auto v = key.expose_secret();  // dblint:allow(expose): reviewed disclosure\n";
   EXPECT_FALSE(has_rule(lint_file("src/core/gateway.cpp", escaped), "expose"));
+}
+
+// --- R10: secret-cache -----------------------------------------------------
+
+TEST(DblintSecretCache, FlagsSecretFlowingIntoCacheContainer) {
+  // An ordinary map keeps the plaintext alive after "deletion": no wipe.
+  const std::string bad =
+      "void remember(const SecretBytes& key) {\n"
+      "  label_cache[scope] = Bytes(key.expose_secret().begin(),\n"
+      "                             key.expose_secret().end());\n"
+      "}\n";
+  // Kernel files may expose, but caching the product is still R10.
+  const auto diags = lint_file("src/sse/mitra.cpp", bad);
+  EXPECT_FALSE(has_rule(diags, "expose"));  // kernel allowlist covers R3
+  EXPECT_TRUE(has_rule(diags, "secret-cache"));
+  EXPECT_EQ(line_of(diags, "secret-cache"), 2);
+  EXPECT_TRUE(has_rule(
+      lint_file("src/ppe/det.cpp",
+                "trapdoor_cache.emplace(kw, token.expose_secret());\n"),
+      "secret-cache"));
+}
+
+TEST(DblintSecretCache, HotCacheAndUnrelatedStatementsPass) {
+  // The HotCache implementation is the single sanctioned unwrap point.
+  EXPECT_FALSE(has_rule(
+      lint_file("src/core/hot_cache.cpp",
+                "const BytesView v = it->second.value.expose_secret();\n"),
+      "secret-cache"));
+  // expose without a cache container, and caches without secrets, pass.
+  EXPECT_FALSE(has_rule(
+      lint_file("src/crypto/prf.cpp", "return prf(key.expose_secret(), in);\n"),
+      "secret-cache"));
+  EXPECT_FALSE(has_rule(
+      lint_file("src/core/x.cpp", "score_cache[v] = public_score(v);\n"),
+      "secret-cache"));
+}
+
+TEST(DblintSecretCache, AllowEscapeSuppresses) {
+  const std::string escaped =
+      "mont_cache[n] = ctx.expose_secret();  "
+      "// dblint:allow(secret-cache): public modulus context\n";
+  EXPECT_FALSE(has_rule(lint_file("src/phe/paillier.cpp", escaped), "secret-cache"));
 }
 
 // --- R4: log-secret --------------------------------------------------------

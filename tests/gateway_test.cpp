@@ -302,5 +302,147 @@ TEST_F(GatewayFixture, NoPlaintextCrossesTheChannel) {
   EXPECT_EQ(gateway_.read("obs", id).at("subject").as_string(), marker_subject);
 }
 
+TEST_F(GatewayFixture, DefaultConfigHasNoCacheOrCostModel) {
+  // Byte-identical-off guarantee: adaptive selection and the hot cache are
+  // strictly opt-in, so a default-config gateway takes the static paths.
+  EXPECT_EQ(gateway_.cache(), nullptr);
+  EXPECT_EQ(gateway_.cost_model(), nullptr);
+}
+
+// --- HotCache integration: epoch + keyed invalidation, adaptive planning ---
+
+class CachedGatewayFixture : public ::testing::Test {
+ protected:
+  static GatewayConfig make_config(bool adaptive) {
+    GatewayConfig cfg{{{"paillier_modulus_bits", "256"},
+                       {"sophos_modulus_bits", "512"}}};
+    cfg.hot_cache_capacity = 256;
+    cfg.adaptive_selection = adaptive;
+    return cfg;
+  }
+
+  explicit CachedGatewayFixture(bool adaptive = false)
+      : rpc_(cloud_.rpc(), channel_),
+        gateway_(rpc_, kms_, local_, registry_, make_config(adaptive)) {
+    register_builtin_tactics(registry_);
+    gateway_.register_schema(fhir::observation_schema("obs"));
+  }
+
+  Document make_obs(const std::string& status, const std::string& subject,
+                    std::int64_t effective, double value) {
+    Document d;
+    d.set("identifier", Value(std::int64_t{1}));
+    d.set("status", Value(status));
+    d.set("code", Value("glucose"));
+    d.set("subject", Value(subject));
+    d.set("effective", Value(effective));
+    d.set("issued", Value(effective + 1000));
+    d.set("performer", Value("Dr. Smith"));
+    d.set("value", Value(value));
+    d.set("interpretation", Value("Normal"));
+    return d;
+  }
+
+  CloudNode cloud_;
+  net::Channel channel_;
+  net::RpcClient rpc_;
+  kms::KeyManager kms_;
+  store::KvStore local_;
+  TacticRegistry registry_;
+  Gateway gateway_;
+};
+
+TEST_F(CachedGatewayFixture, RepeatQueriesHitTheCacheUntilTheEpochBumps) {
+  gateway_.insert("obs", make_obs("final", "Alice", 100, 5.0));
+  gateway_.insert("obs", make_obs("final", "Bob", 500, 6.0));
+  const DocId gone = gateway_.insert("obs", make_obs("final", "Carol", 900, 7.0));
+
+  const auto hits = [&] {
+    return gateway_.range_search("obs", "effective", Value(std::int64_t{0}),
+                                 Value(std::int64_t{1000}));
+  };
+  ASSERT_EQ(hits().size(), 3u);
+  const std::uint64_t hits_before = gateway_.cache()->hits();
+  // The repeat serves decrypted documents (and OPE bound labels) from the
+  // cache — and still returns the same result set.
+  ASSERT_EQ(hits().size(), 3u);
+  EXPECT_GT(gateway_.cache()->hits(), hits_before);
+
+  // A delete bumps the collection epoch: every cached document of "obs"
+  // goes stale at once, so the next read cannot resurrect Carol.
+  gateway_.remove("obs", gone);
+  EXPECT_GE(gateway_.cache()->invalidations(), 1u);
+  const auto after = hits();
+  ASSERT_EQ(after.size(), 2u);
+  for (const auto& d : after) EXPECT_NE(d.at("subject").as_string(), "Carol");
+}
+
+TEST_F(CachedGatewayFixture, UpdateInvalidatesCachedDocuments) {
+  const DocId id = gateway_.insert("obs", make_obs("final", "Alice", 100, 5.0));
+  EXPECT_EQ(gateway_.read("obs", id).at("status").as_string(), "final");
+
+  Document updated = make_obs("amended", "Alice", 700, 8.0);
+  updated.id = id;
+  gateway_.update("obs", updated);
+  // The pre-update blob was cached by the read; the epoch bump keeps it
+  // from being served.
+  EXPECT_EQ(gateway_.read("obs", id).at("status").as_string(), "amended");
+}
+
+TEST_F(CachedGatewayFixture, MitraTrapdoorCacheInvalidatedByKeywordUpdates) {
+  gateway_.insert("obs", make_obs("final", "Alice", 100, 5.0));
+  gateway_.insert("obs", make_obs("final", "Bob", 200, 6.0));
+
+  // First search derives and caches the Mitra trapdoor addresses; the
+  // repeat is served from the cache.
+  ASSERT_EQ(gateway_.equality_search("obs", "subject", Value("Alice")).size(), 1u);
+  const std::uint64_t hits_before = gateway_.cache()->hits();
+  ASSERT_EQ(gateway_.equality_search("obs", "subject", Value("Alice")).size(), 1u);
+  EXPECT_GT(gateway_.cache()->hits(), hits_before);
+
+  // Inserting another Alice advances the Mitra keyword counter, which
+  // changes the address set — send_update must have erased the cached
+  // trapdoor, or this search would miss the new document.
+  gateway_.insert("obs", make_obs("amended", "Alice", 300, 7.0));
+  EXPECT_EQ(gateway_.equality_search("obs", "subject", Value("Alice")).size(), 2u);
+}
+
+class AdaptiveGatewayFixture : public CachedGatewayFixture {
+ protected:
+  AdaptiveGatewayFixture() : CachedGatewayFixture(true) {}
+};
+
+TEST_F(AdaptiveGatewayFixture, AdaptivePlanningKeepsResultsCorrect) {
+  gateway_.insert("obs", make_obs("final", "Alice", 100, 5.0));
+  gateway_.insert("obs", make_obs("final", "Bob", 500, 6.0));
+  gateway_.insert("obs", make_obs("final", "Carol", 900, 7.0));
+  ASSERT_NE(gateway_.cost_model(), nullptr);
+
+  // Whatever the cost model picks — OPE, ORE, RangeBRC or the post-filter
+  // plan — the result set must match the static answer, every time.
+  for (int i = 0; i < 8; ++i) {
+    const auto hits = gateway_.range_search(
+        "obs", "effective", Value(std::int64_t{200}), Value(std::int64_t{800}));
+    ASSERT_EQ(hits.size(), 1u) << "query " << i;
+    EXPECT_EQ(hits[0].at("subject").as_string(), "Bob") << "query " << i;
+  }
+
+  // The plan carries the live annotation the selection table renders.
+  const CollectionPlan& plan = gateway_.plan("obs");
+  const FieldPlan& fp = plan.fields.at("effective");
+  EXPECT_FALSE(fp.range_last_choice.empty());
+  EXPECT_TRUE(fp.range_chosen_by == "static" || fp.range_chosen_by == "cost-model" ||
+              fp.range_chosen_by == "hysteresis-hold")
+      << fp.range_chosen_by;
+  EXPECT_NE(plan.to_table().find(fp.range_chosen_by), std::string::npos);
+
+  // And the other query families still resolve through their tactics.
+  EXPECT_EQ(gateway_.equality_search("obs", "subject", Value("Alice")).size(), 1u);
+  const AggregateResult avg =
+      gateway_.aggregate("obs", "value", schema::Aggregate::kAverage);
+  EXPECT_EQ(avg.count, 3u);
+  EXPECT_NEAR(avg.value, 6.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace datablinder::core

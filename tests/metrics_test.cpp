@@ -40,6 +40,57 @@ TEST(PerfRegistryTest, ScopedPerfFilesOnDestruction) {
   EXPECT_EQ(reg.stats("OPE", TacticOperation::kRangeQuery).count, 1u);
 }
 
+TEST(PerfRegistryTest, EwmaTracksWorkloadShifts) {
+  PerfRegistry reg;
+  reg.record("OPE", TacticOperation::kRangeQuery, 100'000);  // first sample seeds
+  EXPECT_DOUBLE_EQ(reg.stats("OPE", TacticOperation::kRangeQuery).ewma_us, 100.0);
+
+  // A sustained 5x slowdown pulls the EWMA most of the way within a few
+  // half-lives (alpha = 1/8) but never overshoots the new level.
+  for (int i = 0; i < 40; ++i) reg.record("OPE", TacticOperation::kRangeQuery, 500'000);
+  const OpStats s = reg.stats("OPE", TacticOperation::kRangeQuery);
+  EXPECT_GT(s.ewma_us, 450.0);
+  EXPECT_LE(s.ewma_us, 500.0);
+}
+
+TEST(PerfRegistryTest, QuantilesComeFromTheDecayWindow) {
+  PerfRegistry reg;
+  // 90 fast samples + 10 slow outliers: p50 stays fast, p95 sees the tail.
+  for (int i = 0; i < 90; ++i) reg.record("DET", TacticOperation::kInsert, 10'000);
+  for (int i = 0; i < 10; ++i) reg.record("DET", TacticOperation::kInsert, 900'000);
+  OpStats s = reg.stats("DET", TacticOperation::kInsert);
+  EXPECT_DOUBLE_EQ(s.p50_us, 10.0);
+  EXPECT_DOUBLE_EQ(s.p95_us, 900.0);
+
+  // The ring decays: after kWindow newer samples the outliers age out
+  // entirely, while cumulative count/total keep the full history.
+  for (std::size_t i = 0; i < PerfSeries::kWindow; ++i) {
+    reg.record("DET", TacticOperation::kInsert, 20'000);
+  }
+  s = reg.stats("DET", TacticOperation::kInsert);
+  EXPECT_DOUBLE_EQ(s.p50_us, 20.0);
+  EXPECT_DOUBLE_EQ(s.p95_us, 20.0);
+  EXPECT_EQ(s.count, 100u + PerfSeries::kWindow);
+  EXPECT_EQ(s.max_ns, 900'000u);
+}
+
+TEST(PerfRegistryTest, HandleIsStableAndSeesLaterRecords) {
+  PerfRegistry reg;
+  const PerfSeries* h = reg.handle("plan.OPE", TacticOperation::kRangeQuery);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(h->recent_count(), 0u);
+
+  reg.record("plan.OPE", TacticOperation::kRangeQuery, 2'000);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_DOUBLE_EQ(h->ewma_us(), 2.0);
+  // Resolving again yields the same series (stable address for hot loops).
+  EXPECT_EQ(reg.handle("plan.OPE", TacticOperation::kRangeQuery), h);
+  // recent_count saturates at the window size.
+  for (int i = 0; i < 300; ++i) reg.record("plan.OPE", TacticOperation::kRangeQuery, 1'000);
+  EXPECT_EQ(h->recent_count(), PerfSeries::kWindow);
+}
+
 TEST(PerfRegistryTest, ReportRenders) {
   PerfRegistry reg;
   reg.record("Paillier", TacticOperation::kAverage, 5000000);

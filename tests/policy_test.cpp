@@ -1,9 +1,13 @@
-// PolicyEngine tests — adaptive tactic selection (§3.2 / §5.1).
+// PolicyEngine tests — adaptive tactic selection (§3.2 / §5.1), plus the
+// cost-model half of selection (leakage filter first, cost ranking second).
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/status.hpp"
+#include "core/cost_model.hpp"
+#include "core/metrics.hpp"
 #include "core/policy.hpp"
 #include "core/tactics/builtin.hpp"
 #include "fhir/observation.hpp"
@@ -219,6 +223,150 @@ TEST_F(PolicyFixture, SelectionTableRenders) {
   EXPECT_NE(table.find("subject"), std::string::npos);
   EXPECT_NE(table.find("Mitra"), std::string::npos);
   EXPECT_NE(table.find("Reason"), std::string::npos);
+  // Column 4: before any adaptive planning, range rows read "static table"
+  // and non-range rows carry the placeholder.
+  EXPECT_NE(table.find("Predicted cost / chosen-by"), std::string::npos);
+  EXPECT_NE(table.find("static table"), std::string::npos);
+}
+
+TEST_F(PolicyFixture, SelectionTableShowsLiveAdaptiveAnnotation) {
+  CollectionPlan plan = policy_.select(fhir::observation_schema("obs"));
+  FieldPlan& fp = plan.fields.at("effective");
+  fp.range_last_choice = "ORE";
+  fp.range_chosen_by = "cost-model";
+  fp.range_predicted_us = 420.0;
+  const std::string table = plan.to_table();
+  EXPECT_NE(table.find("ORE 420us (cost-model)"), std::string::npos);
+}
+
+TEST_F(PolicyFixture, RangeCandidatesListAdmissibleAlternatives) {
+  const CollectionPlan plan = policy_.select(fhir::observation_schema("obs"));
+  // C5 range field: every registered range tactic is admissible. The
+  // static choice leads; the rest follow in static ranking order.
+  const auto& cands = plan.fields.at("effective").range_candidates;
+  ASSERT_GE(cands.size(), 3u);
+  EXPECT_EQ(cands[0], plan.fields.at("effective").range_tactic);
+  EXPECT_EQ(cands[0], "OPE");
+  EXPECT_EQ(cands[1], "ORE");       // same class, lower preference
+  EXPECT_EQ(cands[2], "RangeBRC");  // lower class, still admissible
+
+  // C3 bound: only RangeBRC clears the leakage filter — the candidate set
+  // shrinks with the bound, so the cost model can never pick a tactic the
+  // admissibility filter rejected.
+  Schema s("bounded");
+  s.field("ts", ann(ProtectionClass::kClass3, {Operation::kInsert, Operation::kRange}));
+  const CollectionPlan bounded = policy_.select(s);
+  EXPECT_EQ(bounded.fields.at("ts").range_candidates,
+            std::vector<std::string>{"RangeBRC"});
+}
+
+// --- CostModel: cost-ranked choice among admissible candidates -------------
+
+namespace cost {
+
+CostProfile constant_profile(double us) {
+  CostProfile p;
+  p.ops[TacticOperation::kRangeQuery] = {CostShape::kConstant, us, 0.0};
+  return p;
+}
+
+}  // namespace cost
+
+TEST(CostModelTest, PriorShapesScaleWithCardinality) {
+  CostProfile p;
+  p.ops[TacticOperation::kRangeQuery] = {CostShape::kConstant, 7.0, 3.0};
+  EXPECT_DOUBLE_EQ(p.predict_us(TacticOperation::kRangeQuery, 1000, 0.1), 7.0);
+  p.ops[TacticOperation::kRangeQuery] = {CostShape::kLinear, 10.0, 2.0};
+  EXPECT_DOUBLE_EQ(p.predict_us(TacticOperation::kRangeQuery, 100, 0.1), 210.0);
+  p.ops[TacticOperation::kRangeQuery] = {CostShape::kLogN, 5.0, 1.0};
+  EXPECT_DOUBLE_EQ(p.predict_us(TacticOperation::kRangeQuery, 1023, 0.1),
+                   5.0 + std::log2(1024.0));
+  p.ops[TacticOperation::kRangeQuery] = {CostShape::kLogNPlusK, 0.0, 2.0};
+  EXPECT_DOUBLE_EQ(p.predict_us(TacticOperation::kRangeQuery, 1023, 0.5),
+                   2.0 * (std::log2(1024.0) + 0.5 * 1023.0));
+  // Un-costed operations predict free rather than throwing.
+  EXPECT_DOUBLE_EQ(p.predict_us(TacticOperation::kInsert, 1000, 0.1), 0.0);
+}
+
+TEST(CostModelTest, SustainedWinSwitchesAfterHysteresisWindows) {
+  PerfRegistry perf;
+  CostModel model(perf);  // margin 0.15, windows 3
+  const CostProfile slow = cost::constant_profile(100.0);
+  const CostProfile fast = cost::constant_profile(50.0);
+  const std::vector<CostCandidate> cands = {{"OPE", &slow}, {"ORE", &fast}};
+
+  // Decisions 1–2: the cheaper challenger is held back by hysteresis.
+  for (int i = 0; i < 2; ++i) {
+    const CostDecision d =
+        model.choose("obs/f/range", "OPE", cands, TacticOperation::kRangeQuery, 100);
+    EXPECT_EQ(d.chosen, "OPE") << i;
+    EXPECT_EQ(d.chosen_by, "hysteresis-hold") << i;
+  }
+  // Decision 3: the win is sustained — switch, and report the model's own
+  // prediction for the new choice.
+  const CostDecision d =
+      model.choose("obs/f/range", "OPE", cands, TacticOperation::kRangeQuery, 100);
+  EXPECT_EQ(d.chosen, "ORE");
+  EXPECT_EQ(d.chosen_by, "cost-model");
+  EXPECT_DOUBLE_EQ(d.predicted_us, 50.0);
+}
+
+TEST(CostModelTest, AlternatingFastSlowWindowsNeverFlap) {
+  PerfRegistry perf;
+  CostModel model(perf);
+  const CostProfile a = cost::constant_profile(100.0);
+  const CostProfile b_cheap = cost::constant_profile(50.0);
+  const CostProfile b_dear = cost::constant_profile(200.0);
+
+  // The challenger alternates between clearly-cheaper and clearly-dearer
+  // every decision — its streak resets each time the incumbent wins, so
+  // the selection must never oscillate away from the static choice.
+  for (int i = 0; i < 24; ++i) {
+    const std::vector<CostCandidate> cands = {
+        {"OPE", &a}, {"ORE", (i % 2 == 0) ? &b_cheap : &b_dear}};
+    const CostDecision d =
+        model.choose("obs/f/range", "OPE", cands, TacticOperation::kRangeQuery, 100);
+    EXPECT_EQ(d.chosen, "OPE") << "decision " << i;
+  }
+}
+
+TEST(CostModelTest, SubMarginWinsNeverSwitch) {
+  PerfRegistry perf;
+  CostModel model(perf);
+  const CostProfile a = cost::constant_profile(100.0);
+  const CostProfile b = cost::constant_profile(90.0);  // 10% win < 15% margin
+  const std::vector<CostCandidate> cands = {{"OPE", &a}, {"ORE", &b}};
+  for (int i = 0; i < 10; ++i) {
+    const CostDecision d =
+        model.choose("obs/f/range", "OPE", cands, TacticOperation::kRangeQuery, 100);
+    EXPECT_EQ(d.chosen, "OPE") << i;
+  }
+}
+
+TEST(CostModelTest, LiveEvidenceOverridesStalePriors) {
+  PerfRegistry perf;
+  // The prior says OPE is the cheap choice, but observed whole-plan
+  // latency (the "plan.OPE" series the gateway records) says otherwise:
+  // a full window of 10ms samples.
+  for (std::size_t i = 0; i < PerfSeries::kWindow; ++i) {
+    perf.record(CostModel::plan_series("OPE"), TacticOperation::kRangeQuery,
+                10'000'000);
+  }
+  CostModel model(perf);
+  const CostProfile ope = cost::constant_profile(50.0);
+  const CostProfile ore = cost::constant_profile(100.0);
+  const std::vector<CostCandidate> cands = {{"OPE", &ope}, {"ORE", &ore}};
+  CostDecision d;
+  for (int i = 0; i < model.config().hysteresis_windows; ++i) {
+    d = model.choose("obs/f/range", "OPE", cands, TacticOperation::kRangeQuery, 100);
+  }
+  EXPECT_EQ(d.chosen, "ORE");
+  EXPECT_EQ(d.chosen_by, "cost-model");
+
+  // Blended prediction for OPE sits near the observed EWMA, far from the
+  // prior: w = 128/(128+8) of 10'000us.
+  EXPECT_GT(model.predict_us({"OPE", &ope}, TacticOperation::kRangeQuery, 100),
+            5'000.0);
 }
 
 TEST_F(PolicyFixture, RegistryIntrospection) {

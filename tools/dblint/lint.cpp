@@ -1,6 +1,7 @@
 #include "lint.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -92,6 +93,8 @@ bool may_expose_secret(const std::string& path) {
   if (path == "src/common/secret.hpp" || path == "src/common/secret.cpp") return true;
   if (path == "src/kms/key_manager.cpp") return true;
   if (path == "src/onion/onion.cpp") return true;
+  // The hot cache stores SecretBytes and unwraps exactly once, on a hit.
+  if (path == "src/core/hot_cache.cpp") return true;
   if (path == "tests/secret_test.cpp") return true;  // verifies the wrapper itself
   for (const char* dir : {"src/crypto/", "src/ppe/", "src/sse/", "src/phe/"}) {
     if (starts_with(path, dir) && ends_with(path, ".cpp")) return true;
@@ -205,6 +208,48 @@ void check_log_secret(const std::string& path, const std::vector<Token>& tokens,
       }
     }
     i = end;
+  }
+}
+
+/// R10: secret-derived cached values belong in the HotCache — its entries
+/// are SecretBytes, wiped on eviction/invalidation — and nowhere else. A
+/// statement that both unwraps a secret (expose_secret) and touches a
+/// cache-named container is a plaintext copy an ordinary container would
+/// keep alive after "deletion". Statement granularity: token run up to ';'.
+void check_secret_cache(const std::string& path, const std::vector<Token>& tokens,
+                        const std::vector<std::set<std::string>>& allows,
+                        std::vector<Diagnostic>* out) {
+  if (path == "src/core/hot_cache.cpp" || path == "src/core/hot_cache.hpp") return;
+  auto mentions_cache = [](const std::string& ident) {
+    std::string lower = ident;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return lower.find("cache") != std::string::npos;
+  };
+  std::size_t stmt_begin = 0;
+  for (std::size_t i = 0; i <= tokens.size(); ++i) {
+    if (i < tokens.size() && tokens[i].text != ";") continue;
+    bool exposes = false;
+    std::size_t expose_line = 0;
+    std::string cache_ident;
+    for (std::size_t j = stmt_begin; j < i && j < tokens.size(); ++j) {
+      if (!tokens[j].is_ident) continue;
+      if (tokens[j].text == "expose_secret") {
+        if (!exposes) expose_line = tokens[j].line_index;
+        exposes = true;
+      } else if (cache_ident.empty() && mentions_cache(tokens[j].text)) {
+        cache_ident = tokens[j].text;
+      }
+    }
+    if (exposes && !cache_ident.empty() &&
+        !allowed(allows, expose_line, "secret-cache")) {
+      out->push_back({path, static_cast<int>(expose_line + 1), "secret-cache",
+                      "expose_secret() product flows into cache-named container '" +
+                          cache_ident +
+                          "'; cache secret-derived values only through core/hot_cache "
+                          "(wiped SecretBytes entries)"});
+    }
+    stmt_begin = i + 1;
   }
 }
 
@@ -360,6 +405,7 @@ std::vector<Diagnostic> lint_file(const std::string& path, const std::string& co
   check_rng(path, tokens, allows, &out);
   check_expose(path, tokens, allows, &out);
   check_log_secret(path, tokens, allows, &out);
+  check_secret_cache(path, tokens, allows, &out);
   return out;
 }
 

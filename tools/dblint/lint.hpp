@@ -31,6 +31,10 @@
 //   leakage-conformance (R9)  declared tactic leakage within the
 //                             schema/leakage.hpp ceilings; doc/LEAKAGE.md
 //                             in sync (see leakage_pass.hpp).
+//   secret-cache        (R10) secret-derived cached values live only in
+//                             core/hot_cache (SecretBytes entries, wiped
+//                             on eviction); no other cache-named container
+//                             may receive expose_secret() products.
 //
 // Escape hatch: a finding on line N is suppressed when line N (or the
 // line immediately above) carries `// dblint:allow(<rule>): reason`.
