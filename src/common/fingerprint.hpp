@@ -1,0 +1,41 @@
+// Order-insensitive structural fingerprinting.
+//
+// The replica chaos suite checks that independently driven cloud nodes
+// converge to identical state. Stores hash each entry with FNV-1a and
+// combine entries commutatively (sum), so hash-map iteration order — which
+// legitimately differs between byte-identical replicas — cannot affect the
+// digest, while any divergence in actual content does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace datablinder {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(std::uint64_t h, BytesView b) {
+  return fnv1a(h, b.data(), b.size());
+}
+
+inline std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  return fnv1a(h, s.data(), s.size());
+}
+
+inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(h, &v, sizeof(v));
+}
+
+}  // namespace datablinder

@@ -1,0 +1,48 @@
+#include "common/perf_series.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace datablinder {
+
+void PerfSeries::observe(std::uint64_t ns) {
+  const double us = static_cast<double>(ns) / 1e3;
+  {
+    std::lock_guard lock(mutex_);
+    total_ns_ += ns;
+    if (ns > max_ns_) max_ns_ = ns;
+    ring_us_[ring_next_] = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(ns / 1000, 0xFFFFFFFFull));
+    ring_next_ = (ring_next_ + 1) % kWindow;
+    // EWMA updated under the same lock (single writer per sample), read
+    // lock-free elsewhere. First sample seeds the average directly.
+    const double prev = ewma_us_.load(std::memory_order_relaxed);
+    const std::uint64_t n = count_.load(std::memory_order_relaxed);
+    ewma_us_.store(n == 0 ? us : prev + kAlpha * (us - prev),
+                   std::memory_order_relaxed);
+    count_.store(n + 1, std::memory_order_relaxed);
+  }
+}
+
+OpStats PerfSeries::stats() const {
+  OpStats s;
+  std::lock_guard lock(mutex_);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.total_ns = total_ns_;
+  s.max_ns = max_ns_;
+  s.ewma_us = ewma_us_.load(std::memory_order_relaxed);
+  const std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(s.count, kWindow));
+  if (n > 0) {
+    std::vector<std::uint32_t> window;
+    window.reserve(n);
+    // Ring fill order does not matter for quantiles; take the first n slots
+    // (exactly the occupied ones until the ring wraps, all of them after).
+    window.assign(ring_us_.begin(), ring_us_.begin() + n);
+    std::sort(window.begin(), window.end());
+    s.p50_us = static_cast<double>(window[(n - 1) / 2]);
+    s.p95_us = static_cast<double>(window[(n * 95) / 100 >= n ? n - 1 : (n * 95) / 100]);
+  }
+  return s;
+}
+
+}  // namespace datablinder

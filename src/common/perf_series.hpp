@@ -1,0 +1,70 @@
+// PerfSeries — one latency series with lock-free fast reads.
+//
+// Extracted from core/metrics so layers below core (net/ in particular)
+// can maintain per-endpoint latency evidence with the same EWMA/quantile
+// semantics the adaptive cost model consumes: the replica group's hedged
+// reads derive their hedge delay from a replica's p95 and its health score
+// from the latency EWMA, and those numbers must mean the same thing as the
+// "plan.<tactic>" series the gateway records. core/metrics re-exports these
+// types, so existing core code is unaffected by the move.
+//
+// Concurrency contract: observe() and stats() serialize on the per-series
+// mutex; ewma_us()/count()/recent_count() are plain atomic loads usable
+// from hot loops without ever touching the mutex.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace datablinder {
+
+struct OpStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+  double ewma_us = 0.0;  // decayed per-call latency (alpha = 1/8)
+  double p50_us = 0.0;   // median of the recent-sample window
+  double p95_us = 0.0;
+
+  double mean_us() const {
+    return count == 0 ? 0.0 : static_cast<double>(total_ns) / static_cast<double>(count) / 1e3;
+  }
+};
+
+/// One latency series with a stable address. The fields hot-loop readers
+/// poll — EWMA and recent-sample count — are plain atomics, so readers
+/// never touch the series mutex. Mutation and quantile extraction
+/// serialize on the per-series mutex.
+class PerfSeries {
+ public:
+  static constexpr std::size_t kWindow = 128;   // recent-sample ring size
+  static constexpr double kAlpha = 0.125;       // EWMA decay per sample
+
+  /// Lock-free fast reads for selection / routing hot loops.
+  double ewma_us() const noexcept { return ewma_us_.load(std::memory_order_relaxed); }
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  /// Samples currently in the decay window (saturates at kWindow) — the
+  /// "how much recent evidence" input to the prior/observed blend.
+  std::uint64_t recent_count() const noexcept {
+    return count() < kWindow ? count() : kWindow;
+  }
+
+  void observe(std::uint64_t ns);
+
+  /// Cumulative + windowed view (takes the series mutex; sorts the ring).
+  OpStats stats() const;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> ewma_us_{0.0};
+
+  mutable std::mutex mutex_;  // guards everything below
+  std::uint64_t total_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+  std::array<std::uint32_t, kWindow> ring_us_{};  // recent samples, circular
+  std::size_t ring_next_ = 0;
+};
+
+}  // namespace datablinder

@@ -1,5 +1,6 @@
 #include "core/cloud_node.hpp"
 
+#include "common/fingerprint.hpp"
 #include "common/hex.hpp"
 #include "common/status.hpp"
 #include "core/wire.hpp"
@@ -47,6 +48,38 @@ std::size_t CloudNode::storage_bytes() const {
   for (const auto& [scope, s] : iex_) n += s->dict().storage_bytes();
   for (const auto& [scope, s] : zmf_) n += s->storage_bytes();
   return n;
+}
+
+std::uint64_t CloudNode::state_digest() const {
+  // Same traversal as storage_bytes(); per-scope digests combine by sum so
+  // unordered scope-map iteration order cannot matter.
+  std::uint64_t digest = docs_.fingerprint() * 3 + kv_.fingerprint();
+  for (const auto& [scope, s] : mitra_) {
+    digest += fnv1a(fnv1a(kFnvOffset, scope), s->dict().fingerprint());
+  }
+  for (const auto& [scope, s] : mitra_sl_) {
+    digest += fnv1a(fnv1a(kFnvOffset, scope),
+                    s->entries().fingerprint() * 3 + s->counters().fingerprint());
+  }
+  for (const auto& [scope, s] : sophos_) {
+    digest += fnv1a(fnv1a(kFnvOffset, scope), s->dict().fingerprint());
+  }
+  for (const auto& [scope, s] : iex_) {
+    digest += fnv1a(fnv1a(kFnvOffset, scope), s->dict().fingerprint());
+  }
+  for (const auto& [scope, s] : zmf_) {
+    digest += fnv1a(fnv1a(kFnvOffset, scope), s->fingerprint());
+  }
+  for (const auto& [column, col] : agg_) {
+    std::uint64_t h = fnv1a(kFnvOffset, column);
+    h = fnv1a(h, col.n.to_bytes());
+    std::uint64_t cts = 0;
+    for (const auto& [id, ct] : col.cts) {
+      cts += fnv1a(fnv1a(kFnvOffset, id), ct.to_bytes());
+    }
+    digest += fnv1a(h, cts);
+  }
+  return digest;
 }
 
 sse::MitraServer& CloudNode::mitra(const std::string& scope) {
@@ -574,6 +607,10 @@ void CloudNode::register_admin_handlers() {
   rpc_.register_method("admin.index_ops", [this](BytesView) {
     return wire::pack(
         {{"ops", Value(static_cast<std::int64_t>(index_ops_.load()))}});
+  });
+  rpc_.register_method("admin.digest", [this](BytesView) {
+    return wire::pack(
+        {{"digest", Value(static_cast<std::int64_t>(state_digest()))}});
   });
 }
 

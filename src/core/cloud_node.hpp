@@ -44,6 +44,14 @@ class CloudNode {
   std::uint64_t index_ops() const noexcept { return index_ops_.load(); }
   void reset_counters() { index_ops_ = 0; }
 
+  /// Order-insensitive digest of all replicated state: document store,
+  /// KV substrate, every SSE server structure, and Paillier aggregate
+  /// columns. Two nodes fed byte-identical write traffic digest equal —
+  /// the replica convergence check. Per-node counters (index_ops), which
+  /// legitimately differ under read routing, are excluded. Also exposed as
+  /// the "admin.digest" RPC method.
+  std::uint64_t state_digest() const;
+
  private:
   // Handler groups — one per cloud-side tactic module (the "cloud
   // implementations" column of Table 1).

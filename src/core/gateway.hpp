@@ -34,6 +34,7 @@
 #include "core/policy.hpp"
 #include "core/registry.hpp"
 #include "doc/value.hpp"
+#include "net/replica_group.hpp"
 
 namespace datablinder::core {
 
@@ -75,6 +76,26 @@ struct GatewayConfig {
   /// labels, Montgomery contexts, decrypted documents). 0 (default)
   /// disables the cache entirely.
   std::size_t hot_cache_capacity = 0;
+
+  /// Cloud replica count for ReplicatedCloud (core/replication.hpp).
+  /// With replicas = 1 and hedged_reads off, no replication layer is built
+  /// at all and the wire behaviour is byte-identical to a single-node
+  /// stack. With > 1, writes are applied on the primary and replayed
+  /// byte-identically to every backup before acknowledgement; reads route
+  /// to the healthiest in-sync replica.
+  std::size_t replicas = 1;
+
+  /// Hedged reads: replay-idempotent reads fire a speculative duplicate to
+  /// the next-best replica after a p95-derived delay; first success wins.
+  /// A hedge is a speculative retry, so it is gated on the retry
+  /// whitelist: enable `retry` too or nothing will ever hedge.
+  bool hedged_reads = false;
+
+  /// Hedge tuning (the enabled flag is derived from hedged_reads).
+  net::HedgeConfig hedge;
+
+  /// Failure-accrual tuning for per-replica health / failover.
+  net::AccrualConfig accrual;
 };
 
 class Gateway {

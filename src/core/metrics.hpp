@@ -16,8 +16,6 @@
 // ages out instead of haunting the model.
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -25,57 +23,16 @@
 #include <mutex>
 #include <string>
 
+#include "common/perf_series.hpp"
 #include "core/spi.hpp"
 
 namespace datablinder::core {
 
-struct OpStats {
-  std::uint64_t count = 0;
-  std::uint64_t total_ns = 0;
-  std::uint64_t max_ns = 0;
-  double ewma_us = 0.0;  // decayed per-call latency (alpha = 1/8)
-  double p50_us = 0.0;   // median of the recent-sample window
-  double p95_us = 0.0;
-
-  double mean_us() const {
-    return count == 0 ? 0.0 : static_cast<double>(total_ns) / static_cast<double>(count) / 1e3;
-  }
-};
-
-/// One (tactic, operation) series with a stable address. The fields the
-/// cost model polls per candidate per query — EWMA and recent-sample count
-/// — are plain atomics, so hot-loop readers never touch the registry mutex
-/// (or even this series' own mutex). Mutation and quantile extraction
-/// serialize on the per-series mutex.
-class PerfSeries {
- public:
-  static constexpr std::size_t kWindow = 128;   // recent-sample ring size
-  static constexpr double kAlpha = 0.125;       // EWMA decay per sample
-
-  /// Lock-free fast reads for the selection hot loop.
-  double ewma_us() const noexcept { return ewma_us_.load(std::memory_order_relaxed); }
-  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
-  /// Samples currently in the decay window (saturates at kWindow) — the
-  /// "how much recent evidence" input to the prior/observed blend.
-  std::uint64_t recent_count() const noexcept {
-    return std::min<std::uint64_t>(count(), kWindow);
-  }
-
-  void observe(std::uint64_t ns);
-
-  /// Cumulative + windowed view (takes the series mutex; sorts the ring).
-  OpStats stats() const;
-
- private:
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<double> ewma_us_{0.0};
-
-  mutable std::mutex mutex_;  // guards everything below
-  std::uint64_t total_ns_ = 0;
-  std::uint64_t max_ns_ = 0;
-  std::array<std::uint32_t, kWindow> ring_us_{};  // recent samples, circular
-  std::size_t ring_next_ = 0;
-};
+// OpStats and PerfSeries now live in common/perf_series.hpp (the replica
+// group's failure-accrual detector in net/ shares them); re-exported here
+// so core code and tests keep their spelling.
+using datablinder::OpStats;
+using datablinder::PerfSeries;
 
 class PerfRegistry {
  public:

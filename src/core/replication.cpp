@@ -1,0 +1,41 @@
+#include "core/replication.hpp"
+
+#include <algorithm>
+
+namespace datablinder::core {
+
+ReplicatedCloud::ReplicatedCloud(const GatewayConfig& config,
+                                 net::ChannelConfig channel_config) {
+  const std::size_t n = std::max<std::size_t>(1, config.replicas);
+  nodes_.reserve(n);
+  channels_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<CloudNode>());
+    channels_.push_back(std::make_unique<net::Channel>(channel_config));
+  }
+
+  if (n == 1 && !config.hedged_reads) {
+    // Legacy shape: no group, no routing layer — the exact single-node
+    // client, byte-identical on the wire to the pre-replication build.
+    client_ = std::make_unique<net::RpcClient>(nodes_[0]->rpc(), *channels_[0]);
+    return;
+  }
+
+  std::vector<net::ReplicaEndpoint> endpoints;
+  endpoints.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    endpoints.push_back({&nodes_[i]->rpc(), channels_[i].get()});
+  }
+  net::HedgeConfig hedge = config.hedge;
+  hedge.enabled = config.hedged_reads;
+  group_ = std::make_unique<net::ReplicaGroup>(std::move(endpoints), hedge,
+                                               config.accrual);
+  client_ = std::make_unique<net::RpcClient>(*group_);
+}
+
+std::size_t ReplicatedCloud::catch_up() {
+  if (group_ == nullptr) return nodes_.size();
+  return group_->catch_up_all();
+}
+
+}  // namespace datablinder::core

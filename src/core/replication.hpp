@@ -1,0 +1,55 @@
+// ReplicatedCloud — the untrusted zone as a replica set.
+//
+// Owns N in-process CloudNodes, each behind its own independently
+// faultable Channel, assembled into a net::ReplicaGroup and fronted by a
+// single group-routing RpcClient the Gateway binds to exactly like a
+// single-node client. Chaos tests script per-replica FaultPlans through
+// channel(i) and drive failures while asserting the group invariants.
+//
+// Fidelity contract: with GatewayConfig{replicas = 1, hedged_reads =
+// false} no group is built at all — the client is a plain
+// RpcClient(node.rpc(), channel), i.e. the exact pre-replication code
+// path, byte-identical on the wire to a hand-assembled single-node stack.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/cloud_node.hpp"
+#include "core/gateway.hpp"
+#include "net/channel.hpp"
+#include "net/replica_group.hpp"
+#include "net/rpc.hpp"
+
+namespace datablinder::core {
+
+class ReplicatedCloud {
+ public:
+  /// Builds config.replicas nodes (minimum 1), every channel starting from
+  /// `channel_config`. A group (and group-mode client) is built unless the
+  /// config describes the legacy single-node shape.
+  explicit ReplicatedCloud(const GatewayConfig& config = {},
+                           net::ChannelConfig channel_config = {});
+
+  /// The client the Gateway should be constructed over.
+  net::RpcClient& client() noexcept { return *client_; }
+
+  /// The replica group, or nullptr in legacy single-node mode.
+  net::ReplicaGroup* group() noexcept { return group_.get(); }
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+  CloudNode& node(std::size_t i) { return *nodes_[i]; }
+  net::Channel& channel(std::size_t i) { return *channels_[i]; }
+
+  /// Replays the missing log suffix to every reachable replica (heal
+  /// probe); no-op in legacy mode. Returns replicas fully in sync.
+  std::size_t catch_up();
+
+ private:
+  std::vector<std::unique_ptr<CloudNode>> nodes_;
+  std::vector<std::unique_ptr<net::Channel>> channels_;
+  std::unique_ptr<net::ReplicaGroup> group_;  // before client_: client holds it
+  std::unique_ptr<net::RpcClient> client_;
+};
+
+}  // namespace datablinder::core

@@ -41,8 +41,8 @@ RetryPolicy RetryPolicy::standard() {
       "doc.get", "doc.mget", "doc.list", "det.search", "ope.range", "ope.extreme",
       "ore.range", "mitra.search", "mitrasl.search", "mitrasl.get_counter",
       "sophos.search", "iex.search", "zmf.search", "agg.sum", "admin.storage",
-      "admin.index_ops", "plain.get", "plain.find_eq", "plain.find_range",
-      "plain.find_bool", "plain.avg",
+      "admin.index_ops", "admin.digest", "plain.get", "plain.find_eq",
+      "plain.find_range", "plain.find_bool", "plain.avg",
       // Updates whose handlers are keyed overwrites (sadd / zadd / hset /
       // dict.put): a byte-identical replay re-writes the same key with the
       // same value, so at-least-once delivery yields exactly-once state.
@@ -81,13 +81,21 @@ bool CircuitBreaker::try_admit(std::uint64_t now_us) {
       if (now_us - opened_at_us_ >= config_.open_cooldown_us) {
         state_ = State::kHalfOpen;
         probe_in_flight_ = true;
+        probe_started_us_ = now_us;
         return true;  // this caller is the probe
       }
       ++rejections_;
       return false;
     case State::kHalfOpen:
+      // Exactly one probe token per half-open window. If the token's owner
+      // vanished without reporting (see rpc.cpp's catch-all), reclaim it
+      // after a full cooldown so the breaker cannot wedge in half-open.
+      if (probe_in_flight_ && now_us - probe_started_us_ >= config_.open_cooldown_us) {
+        probe_in_flight_ = false;
+      }
       if (!probe_in_flight_) {
         probe_in_flight_ = true;
+        probe_started_us_ = now_us;
         return true;
       }
       ++rejections_;

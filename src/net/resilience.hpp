@@ -121,6 +121,11 @@ class CircuitBreaker {
   std::uint64_t trips_ = 0;
   std::uint64_t rejections_ = 0;
   bool probe_in_flight_ = false;
+  // When the outstanding half-open probe was admitted. A probe whose owner
+  // never reports an outcome (caller died between admission and reporting)
+  // would otherwise hold the token forever; after a full cooldown the token
+  // is reclaimed and a new probe admitted.
+  std::uint64_t probe_started_us_ = 0;
 };
 
 std::string to_string(CircuitBreaker::State state);

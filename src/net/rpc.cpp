@@ -4,8 +4,12 @@
 #include <random>
 
 #include "common/rng.hpp"
+#include "net/replica_group.hpp"
 
 namespace datablinder::net {
+
+RpcClient::RpcClient(ReplicaGroup& group)
+    : server_(group.server(0)), channel_(group.channel(0)), group_(&group) {}
 
 void RpcServer::register_method(const std::string& method, Handler handler) {
   std::lock_guard lock(mutex_);
@@ -157,6 +161,17 @@ RpcServer::Handler RpcClient::make_batch_handler(const RpcServer& server) {
 }
 
 void RpcClient::set_retry_policy(RetryPolicy policy) {
+  if (group_ != nullptr) {
+    // Hedging is a speculative retry: only methods the whitelist declares
+    // replay-idempotent may be hedged or re-sent after their request leg
+    // shipped. The group re-checks through this predicate on every read.
+    if (policy.enabled) {
+      group_->set_hedgeable(
+          [policy](const std::string& method) { return policy.retryable(method); });
+    } else {
+      group_->set_hedgeable(nullptr);
+    }
+  }
   std::lock_guard lock(policy_mutex_);
   policy_ = std::move(policy);
 }
@@ -172,6 +187,7 @@ void RpcClient::set_clock(RetryClock* clock) {
 }
 
 void RpcClient::set_metrics_hook(MetricsHook hook) {
+  if (group_ != nullptr) group_->set_metrics_hook(hook);
   std::lock_guard lock(policy_mutex_);
   hook_ = std::move(hook);
 }
@@ -229,8 +245,11 @@ Bytes RpcClient::call(const std::string& method, BytesView payload) {
     clock = clock_ != nullptr ? clock_ : &RetryClock::system();
   }
   CircuitBreaker& breaker = channel_.breaker();
-  if (!policy.enabled && !breaker.enabled()) {
-    return dispatch_once(method, wire_request);  // seed fast path: fail fast
+  if (!policy.enabled && (group_ != nullptr || !breaker.enabled())) {
+    // Seed fast path: fail fast. In group mode the per-replica accrual
+    // detector is the health authority, so the breaker never gates calls.
+    if (group_ != nullptr) return group_->call(method, wire_request);
+    return dispatch_once(method, wire_request);
   }
 
   const std::uint64_t start_us = clock->now_us();
@@ -242,7 +261,19 @@ Bytes RpcClient::call(const std::string& method, BytesView payload) {
   for (std::uint32_t attempt = 1;; ++attempt) {
     bool transport_failure;
     std::exception_ptr error;
-    if (!breaker.try_admit(clock->now_us())) {
+    if (group_ != nullptr) {
+      // Group mode: the group already did per-replica routing/failover;
+      // what escapes it is either a typed server error or "no replica
+      // could serve this" — the latter retries under the normal budget
+      // (re-sending the SAME bytes, which the group dedups for applied
+      // writes whose ack was lost).
+      try {
+        return group_->call(method, wire_request);
+      } catch (const Error& e) {
+        transport_failure = e.code() == ErrorCode::kUnavailable;
+        error = std::current_exception();
+      }
+    } else if (!breaker.try_admit(clock->now_us())) {
       emit("net.breaker.reject", 1);
       transport_failure = true;
       error = std::make_exception_ptr(
@@ -266,6 +297,13 @@ Bytes RpcClient::call(const std::string& method, BytesView payload) {
           breaker.on_success();
         }
         error = std::current_exception();
+      } catch (...) {
+        // Non-Error escape (allocation failure, codec logic bug): no
+        // verdict on endpoint health, but the admission MUST be settled —
+        // in half-open this admission holds the probe token, and leaving
+        // it unsettled would lock the breaker in half-open forever.
+        breaker.on_failure(clock->now_us());
+        throw;
       }
     }
 

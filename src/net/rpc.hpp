@@ -29,6 +29,8 @@
 
 namespace datablinder::net {
 
+class ReplicaGroup;
+
 class RpcServer {
  public:
   using Handler = std::function<Bytes(BytesView)>;
@@ -51,6 +53,16 @@ class RpcClient {
  public:
   /// Both endpoint and channel must outlive the client.
   RpcClient(RpcServer& server, Channel& channel) : server_(server), channel_(channel) {}
+
+  /// Group mode: every call routes through the replica group (reads to the
+  /// healthiest in-sync replica, hedged when eligible; writes through the
+  /// primary + replication log). Per-replica failure accrual replaces the
+  /// single-channel circuit breaker. The retry loop still wraps the group:
+  /// a kUnavailable from it (no replica reachable, or an applied write
+  /// whose ack was lost) retries with the same backoff/whitelist/budget
+  /// rules, and the group dedups replayed writes byte-exactly. The group
+  /// must outlive the client.
+  explicit RpcClient(ReplicaGroup& group);
 
   /// Full round trip: serialize, cross the channel, dispatch, cross back,
   /// deserialize. Throws the server-side Error on failure responses.
@@ -130,6 +142,7 @@ class RpcClient {
 
   RpcServer& server_;
   Channel& channel_;
+  ReplicaGroup* group_ = nullptr;  // non-null => group routing mode
 
   mutable std::mutex policy_mutex_;  // guards policy_, clock_, hook_
   RetryPolicy policy_;

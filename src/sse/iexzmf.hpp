@@ -61,6 +61,11 @@ class IexZmfServer {
     return values_.storage_bytes() + filters_.storage_bytes();
   }
 
+  /// Order-insensitive content digest (replica convergence checks).
+  std::uint64_t fingerprint() const {
+    return values_.fingerprint() * 3 + filters_.fingerprint();
+  }
+
  private:
   ZmfFilterParams params_;
   EncryptedDict values_;

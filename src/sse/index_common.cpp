@@ -1,5 +1,6 @@
 #include "sse/index_common.hpp"
 
+#include "common/fingerprint.hpp"
 #include "common/status.hpp"
 
 namespace datablinder::sse {
@@ -47,6 +48,19 @@ bool EncryptedDict::contains(const Bytes& label) const {
 void EncryptedDict::clear() {
   map_.clear();
   storage_bytes_ = 0;
+}
+
+std::uint64_t EncryptedDict::fingerprint() const {
+  // Per-entry FNV-1a hashes combined by sum: unordered_map iteration order
+  // differs between byte-identical replicas, the content must not.
+  std::uint64_t digest = 0;
+  for (const auto& [label, value] : map_) {
+    std::uint64_t h = fnv1a(kFnvOffset, label);
+    h = fnv1a(h, static_cast<std::uint64_t>(value.size()));
+    h = fnv1a(h, value);
+    digest += h;
+  }
+  return digest;
 }
 
 Bytes encode_id_list(const std::vector<DocId>& ids) {

@@ -37,6 +37,9 @@ class EncryptedDict {
   /// Total stored bytes (labels + values) — the storage-overhead metric.
   std::size_t storage_bytes() const noexcept { return storage_bytes_; }
 
+  /// Order-insensitive content digest (replica convergence checks).
+  std::uint64_t fingerprint() const;
+
   void clear();
 
  private:

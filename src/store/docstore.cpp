@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fingerprint.hpp"
 #include "common/status.hpp"
 #include "doc/binary_codec.hpp"
 
@@ -295,6 +296,17 @@ std::size_t Collection::storage_bytes() const {
   return n;
 }
 
+std::uint64_t Collection::fingerprint() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t digest = 0;
+  for (const auto& [id, d] : docs_) {
+    std::uint64_t h = fnv1a(kFnvOffset, id);
+    h = fnv1a(h, doc::encode_document(d));  // canonical: Object is ordered
+    digest += h;
+  }
+  return digest;
+}
+
 Collection& DocumentStore::collection(const std::string& name) {
   std::lock_guard lock(mutex_);
   auto it = collections_.find(name);
@@ -314,6 +326,15 @@ std::size_t DocumentStore::storage_bytes() const {
   std::size_t n = 0;
   for (const auto& [name, c] : collections_) n += c->storage_bytes();
   return n;
+}
+
+std::uint64_t DocumentStore::fingerprint() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t digest = 0;
+  for (const auto& [name, c] : collections_) {
+    digest += fnv1a(fnv1a(kFnvOffset, name), c->fingerprint());
+  }
+  return digest;
 }
 
 }  // namespace datablinder::store

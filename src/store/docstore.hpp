@@ -81,6 +81,10 @@ class Collection {
 
   std::size_t storage_bytes() const;
 
+  /// Order-insensitive digest over all documents (replica convergence
+  /// checks). Secondary indexes are derived state and excluded.
+  std::uint64_t fingerprint() const;
+
  private:
   // Index key: canonical scalar encoding (sorts correctly for strings and
   // non-negative ints; doubles handled via order-preserving bit tricks).
@@ -107,6 +111,9 @@ class DocumentStore {
   bool has_collection(const std::string& name) const;
 
   std::size_t storage_bytes() const;
+
+  /// Order-insensitive digest across every collection.
+  std::uint64_t fingerprint() const;
 
  private:
   mutable std::mutex mutex_;

@@ -1,5 +1,6 @@
 #include "store/kvstore.hpp"
 
+#include "common/fingerprint.hpp"
 #include "common/status.hpp"
 
 namespace datablinder::store {
@@ -294,6 +295,46 @@ std::size_t KvStore::storage_bytes() const {
   }
   n += counters_.size() * 16;
   return n;
+}
+
+std::uint64_t KvStore::fingerprint() const {
+  std::lock_guard lock(mutex_);
+  // Top-level maps are unordered: hash each key's full entry and combine
+  // by sum, tagging each structure family so a string and a same-named
+  // counter can never cancel out.
+  std::uint64_t digest = 0;
+  for (const auto& [k, v] : strings_) {
+    std::uint64_t h = fnv1a(kFnvOffset, std::string("str"));
+    h = fnv1a(fnv1a(h, k), v);
+    digest += h;
+  }
+  for (const auto& [k, hash] : hashes_) {
+    std::uint64_t h = fnv1a(kFnvOffset, std::string("hash"));
+    h = fnv1a(h, k);
+    for (const auto& [f, v] : hash) h = fnv1a(fnv1a(h, f), v);  // ordered map
+    digest += h;
+  }
+  for (const auto& [k, set] : sets_) {
+    std::uint64_t h = fnv1a(kFnvOffset, std::string("set"));
+    h = fnv1a(h, k);
+    for (const auto& m : set) h = fnv1a(h, m);  // ordered set
+    digest += h;
+  }
+  for (const auto& [k, z] : zsets_) {
+    std::uint64_t h = fnv1a(kFnvOffset, std::string("zset"));
+    h = fnv1a(h, k);
+    for (const auto& [score, members] : z) {
+      h = fnv1a(h, score);
+      for (const auto& m : members) h = fnv1a(h, m);
+    }
+    digest += h;
+  }
+  for (const auto& [k, c] : counters_) {
+    std::uint64_t h = fnv1a(kFnvOffset, std::string("ctr"));
+    h = fnv1a(fnv1a(h, k), static_cast<std::uint64_t>(c));
+    digest += h;
+  }
+  return digest;
 }
 
 void KvStore::flush_all() {

@@ -72,6 +72,11 @@ class KvStore {
   /// Approximate resident bytes across all structures (storage metric).
   std::size_t storage_bytes() const;
 
+  /// Order-insensitive digest of the full contents; two stores that hold
+  /// the same strings/hashes/sets/zsets/counters fingerprint identically
+  /// regardless of hash-map iteration order (replica convergence checks).
+  std::uint64_t fingerprint() const;
+
   /// Flushes buffered AOF records to the OS. The semi-persistent default
   /// buffers writes (matching the paper's Redis config); callers with a
   /// durability point — e.g. the insert intent journal, which must land

@@ -464,6 +464,39 @@ TEST(DblintPlaintextEgress, SealedPayloadsAndWireConstructorPass) {
       "plaintext-egress"));
 }
 
+TEST(DblintPlaintextEgress, ReplicationEgressCalleesAreCovered) {
+  // The replication layer's egress surfaces are first-class: routing a
+  // plaintext-derived identifier into a replica group or straight into a
+  // replica's dispatch must fire like any RpcClient::call would.
+  EXPECT_TRUE(has_rule(
+      lint_indexed({{"src/core/exec/executor.cpp",
+                     "void f() {\n  group_->call_write(m, plaintext_bytes);\n}\n"}}),
+      "plaintext-egress"));
+  EXPECT_TRUE(has_rule(
+      lint_indexed({{"src/core/gateway.cpp",
+                     "void f() {\n  group_->call_read(m, v.as_int());\n}\n"}}),
+      "plaintext-egress"));
+  EXPECT_TRUE(has_rule(
+      lint_indexed({{"src/core/cloud_node.cpp",
+                     "void f() {\n  server->dispatch(secret_label);\n}\n"}}),
+      "plaintext-egress"));
+  // The replication TUs themselves are scanned (NOT allowlisted): sealed
+  // replay traffic passes, plaintext would not.
+  EXPECT_FALSE(has_rule(
+      lint_indexed(
+          {{"src/net/replica_group.cpp",
+            "void f() {\n  r.endpoint.channel->transfer_request(wire.size(), m);\n}\n"}}),
+      "plaintext-egress"));
+  EXPECT_TRUE(has_rule(
+      lint_indexed({{"src/net/replica_group.cpp",
+                     "void f() {\n  r.endpoint.channel->transfer_request(value.size(), m);\n}\n"}}),
+      "plaintext-egress"));
+  EXPECT_TRUE(has_rule(
+      lint_indexed({{"src/core/replication.cpp",
+                     "void f() {\n  group_->call_write(m, plaintext_payload);\n}\n"}}),
+      "plaintext-egress"));
+}
+
 TEST(DblintPlaintextEgress, KernelAllowlistAndTestsAreExempt) {
   const std::string body = "void f() {\n  ctx_.cloud->call(m, value.scalar_bytes());\n}\n";
   EXPECT_TRUE(has_rule(lint_indexed({{"src/core/exec/executor.cpp", body}}),

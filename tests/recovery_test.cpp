@@ -9,6 +9,7 @@
 
 #include "core/cloud_node.hpp"
 #include "core/gateway.hpp"
+#include "core/replication.hpp"
 #include "core/tactics/builtin.hpp"
 #include "fhir/observation.hpp"
 
@@ -276,6 +277,98 @@ TEST(RecoveryTest, RestartedGatewayResumesPendingInsertIntent) {
   EXPECT_EQ(gw.equality_search("obs", "subject", Value("patient-r")).size(), 2u);
   EXPECT_EQ(gw.read("obs", "doc-interrupted").id, "doc-interrupted");
   EXPECT_EQ(gw.aggregate("obs", "value", schema::Aggregate::kAverage).count, 2u);
+}
+
+TEST(RecoveryTest, PendingIntentReplaysToEveryReplicaExactlyOnce) {
+  // Intent-journal kill/restart against a THREE-replica cloud: the whole
+  // replica set becomes unreachable mid-insert (after the intent is
+  // journaled, before the batch ships). The restarted incarnation resumes
+  // the intent through the replica group, and the recorded batch reaches
+  // every replica exactly once — byte-exact per channel, digests equal.
+  TempAof aof("recovery6.aof");
+  const Bytes master(32, 10);
+
+  core::GatewayConfig cfg;
+  cfg.tactic_params = {{"paillier_modulus_bits", "256"}};
+  cfg.journal_inserts = true;
+  cfg.retry = net::RetryPolicy::standard();
+  cfg.retry.jitter_seed = 7;
+  cfg.replicas = 3;
+  core::ReplicatedCloud rc(cfg);  // the replica set outlives gateway incarnations
+
+  // Incarnation 1: the batch dies on every replica's request leg — retries
+  // and failover exhaust without a single byte of it shipping anywhere.
+  {
+    kms::KeyManager kms(master);
+    store::KvStore local(aof.path);
+    core::Gateway gw(rc.client(), kms, local, registry(), cfg);
+    gw.register_schema(fhir::benchmark_schema("obs"));
+
+    fhir::ObservationGenerator gen(14);
+    Document d = gen.next();
+    d.id = "doc-cluster-interrupted";
+    d.set("subject", Value("patient-z"));
+
+    net::FaultPlan plan;
+    plan.method_faults = {{"rpc.batch", /*skip=*/0, /*count=*/100}};
+    for (std::size_t i = 0; i < rc.size(); ++i) rc.channel(i).set_fault_plan(plan);
+    EXPECT_THROW(gw.insert("obs", d), Error);
+    for (std::size_t i = 0; i < rc.size(); ++i) rc.channel(i).clear_fault_plan();
+    ASSERT_NE(gw.journal(), nullptr);
+    EXPECT_EQ(gw.journal()->pending_count(), 1u);
+  }  // crash: gateway torn down with the intent pending
+
+  // Incarnation 2: same master key, replayed AOF, same (healed) replica
+  // set. The schema setup writes re-elect a primary and pull every replica
+  // back in sync before recovery runs.
+  kms::KeyManager kms(master);
+  store::KvStore local(aof.path);
+  core::Gateway gw(rc.client(), kms, local, registry(), cfg);
+  gw.register_schema(fhir::benchmark_schema("obs"));
+
+  ASSERT_EQ(gw.journal()->pending_count(), 1u);
+  const auto intent = gw.journal()->find("obs", "doc-cluster-interrupted");
+  ASSERT_TRUE(intent.has_value());
+
+  // The exact wire size the recorded batch occupies when replayed — the
+  // same envelope encoding flush_deferred() uses.
+  Bytes batch_payload = be32(static_cast<std::uint32_t>(intent->rpcs.size()));
+  for (const auto& r : intent->rpcs) {
+    const Bytes sub = r.serialize();
+    append(batch_payload, be32(static_cast<std::uint32_t>(sub.size())));
+    append(batch_payload, sub);
+  }
+  net::Request envelope;
+  envelope.method = "rpc.batch";
+  envelope.payload = batch_payload;
+  const std::uint64_t expected_batch_bytes = envelope.serialize().size();
+
+  ASSERT_NE(rc.group(), nullptr);
+  for (std::size_t i = 0; i < rc.size(); ++i) {
+    ASSERT_EQ(rc.group()->applied_seq(i), rc.group()->applied_seq(0))
+        << "replica " << i << " not in sync before recovery";
+  }
+  std::vector<std::uint64_t> sent_before;
+  for (std::size_t i = 0; i < rc.size(); ++i) {
+    sent_before.push_back(rc.channel(i).stats().bytes_sent.load());
+  }
+
+  EXPECT_EQ(gw.recover_pending_inserts(), 1u);
+  EXPECT_EQ(gw.journal()->pending_count(), 0u);
+
+  // Exactly once, on every replica: each channel carried precisely one copy
+  // of the recorded batch, and the replica states are identical.
+  for (std::size_t i = 0; i < rc.size(); ++i) {
+    EXPECT_EQ(rc.channel(i).stats().bytes_sent.load() - sent_before[i],
+              expected_batch_bytes)
+        << "replica " << i << " saw the replayed batch more or less than once";
+  }
+  for (std::size_t i = 1; i < rc.size(); ++i) {
+    EXPECT_EQ(rc.node(i).state_digest(), rc.node(0).state_digest());
+  }
+  EXPECT_EQ(gw.equality_search("obs", "subject", Value("patient-z")).size(), 1u);
+  EXPECT_EQ(gw.read("obs", "doc-cluster-interrupted").id, "doc-cluster-interrupted");
+  EXPECT_EQ(gw.aggregate("obs", "value", schema::Aggregate::kAverage).count, 1u);
 }
 
 TEST(RecoveryTest, WithoutPersistenceMitraSearchDegradesLoudlyNot) {

@@ -252,6 +252,61 @@ TEST(ResilienceTest, NonWhitelistedMethodsFailFast) {
   EXPECT_EQ(ch.transfers(), 1u);
 }
 
+TEST(ResilienceTest, StandardWhitelistCoversReadsAndKeyedOverwrites) {
+  // The whitelist is the single gate for every re-send mechanism: plain
+  // retries, replica failover after send, and hedged reads all consult it.
+  const net::RetryPolicy p = net::RetryPolicy::standard();
+  // Reads (trivially replayable), including the batched retrieval and
+  // trapdoor-based search methods.
+  for (const char* m :
+       {"doc.get", "doc.mget", "doc.list", "det.search", "mitra.search",
+        "mitrasl.search", "mitrasl.get_counter", "sophos.search", "iex.search",
+        "zmf.search", "ope.range", "ore.range", "agg.sum", "admin.digest"}) {
+    EXPECT_TRUE(p.retryable(m)) << m;
+  }
+  // Updates whose handlers are keyed overwrites absorb byte-identical replay.
+  for (const char* m : {"doc.put", "det.insert", "mitra.update", "agg.insert",
+                        "sophos.update", "rpc.batch"}) {
+    EXPECT_TRUE(p.retryable(m)) << m;
+  }
+  // Anything else fails fast — unknown third-party methods are presumed
+  // non-idempotent.
+  for (const char* m : {"echo.get", "custom.append", "kms.rotate", ""}) {
+    EXPECT_FALSE(p.retryable(m)) << m;
+  }
+}
+
+TEST(ResilienceTest, NonWhitelistedMethodIsNeverResentAfterSend) {
+  // The dangerous case: the request leg SHIPPED (the server may have
+  // executed it) and the response leg faulted. For a method outside the
+  // whitelist the client must surface the failure after exactly one
+  // server-side execution — a blind re-send could double-apply it.
+  net::RpcServer server;
+  int calls = 0;
+  server.register_method("custom.append", [&calls](BytesView b) {
+    ++calls;
+    return Bytes(b.begin(), b.end());
+  });
+  net::Channel ch;
+  net::RpcClient rpc(server, ch);
+  FakeClock clock;
+  rpc.set_clock(&clock);
+  rpc.set_retry_policy(net::RetryPolicy::standard());  // custom.* not listed
+
+  net::FaultPlan plan;
+  plan.fail_transfers = {2};  // ordinal 1 = request leg, 2 = response leg
+  ch.arm_fault_plan(plan);
+
+  try {
+    rpc.call("custom.append", to_bytes("x"));
+    FAIL() << "expected the lost response to surface";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnavailable);
+  }
+  EXPECT_EQ(calls, 1);                // executed exactly once
+  EXPECT_TRUE(clock.sleeps.empty());  // and never re-sent
+}
+
 TEST(ResilienceTest, TypedServerErrorsAreNotRetried) {
   net::RpcServer server;
   int calls = 0;

@@ -104,15 +104,24 @@ void report_lock_cycles(
 // ---------------------------------------------------------------------------
 
 bool is_egress_callee(const std::string& callee) {
+  // The replication layer added three more ways for bytes to leave the
+  // trusted zone: ReplicaGroup::call_read / call_write route a request to
+  // cloud replicas, and `dispatch` is the in-process hop onto a replica's
+  // RpcServer (what a real deployment would serialize over the WAN).
   return callee == "call" || callee == "send_batch" ||
-         callee == "transfer_request" || callee == "transfer_response";
+         callee == "transfer_request" || callee == "transfer_response" ||
+         callee == "call_read" || callee == "call_write" || callee == "dispatch";
 }
 
 /// The files entitled to put plaintext-derived identifiers on the wire:
 /// tactic kernels seal their own payloads (everything they send is already
 /// a label/ciphertext, and the leakage table owns what they reveal), the
 /// rpc/channel implementation moves opaque bytes, and workload/ is the
-/// simulated *client* — plaintext is its job.
+/// simulated *client* — plaintext is its job. The replication layer
+/// (src/net/replica_group.cpp, src/core/replication.cpp) is deliberately
+/// NOT here: it replays sealed wire bytes verbatim, so the rule must keep
+/// watching that no plaintext-derived identifier ever enters its egress
+/// calls.
 bool egress_allowlisted(const std::string& path) {
   if (starts_with(path, "src/core/tactics/")) return true;
   if (starts_with(path, "src/workload/")) return true;

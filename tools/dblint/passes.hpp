@@ -12,7 +12,11 @@
 //                            allowlist, no plaintext/doc::Value-derived
 //                            identifier may appear in the arguments of an
 //                            egress call (RpcClient::call / send_batch,
-//                            Channel::transfer_*).
+//                            Channel::transfer_*, ReplicaGroup::call_read /
+//                            call_write, RpcServer::dispatch). The
+//                            replication TUs are scanned like any other —
+//                            they replay sealed bytes and never mint
+//                            plaintext of their own.
 #pragma once
 
 #include <vector>
