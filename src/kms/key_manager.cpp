@@ -26,6 +26,7 @@ SecretBytes KeyManager::derive(const std::string& scope, std::size_t length) {
 
   Bytes info = to_bytes(scope);
   append(info, be64(ep));
+  // dblint:allow(expose): root-of-trust feeds HKDF here; the product stays SecretBytes
   SecretBytes key(crypto::hkdf(to_bytes("datablinder-kms"), master_.expose_secret(),
                                info, length));
   SecretBytes out = key.clone();

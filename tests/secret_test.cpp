@@ -121,6 +121,7 @@ TEST_F(SecretBytesTest, CloneIsDeliberateAndIndependent) {
 TEST_F(SecretBytesTest, ExposeSecretReturnsView) {
   const Bytes raw = {1, 2, 3, 4};
   const SecretBytes s = SecretBytes::from_view(raw);
+  // dblint:allow(expose): the unit under test IS the unwrap API
   const BytesView v = s.expose_secret();
   ASSERT_EQ(v.size(), raw.size());
   EXPECT_TRUE(std::equal(v.begin(), v.end(), raw.begin()));

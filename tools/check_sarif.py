@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Structural validator for dblint's SARIF 2.1.0 output.
+
+CI runs `dblint --sarif . > dblint.sarif || true` and pipes the file here
+before uploading it to GitHub code scanning. The checks mirror the parts of
+the SARIF 2.1.0 schema the upload endpoint actually rejects on: top-level
+shape, run/tool/driver identity, rule table integrity, and per-result
+location + ruleIndex consistency. Stdlib only — no jsonschema dependency.
+
+Usage: check_sarif.py <file.sarif>   (exit 0 iff structurally valid)
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_sarif: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def main(path):
+    with open(path, "rb") as f:
+        doc = json.load(f)
+
+    expect(isinstance(doc, dict), "top level must be an object")
+    expect(
+        doc.get("$schema", "").endswith("sarif-2.1.0.json"),
+        f"$schema must reference sarif-2.1.0.json, got {doc.get('$schema')!r}",
+    )
+    expect(doc.get("version") == "2.1.0", "version must be '2.1.0'")
+
+    runs = doc.get("runs")
+    expect(isinstance(runs, list) and len(runs) == 1, "runs must be a 1-element array")
+    run = runs[0]
+
+    driver = run.get("tool", {}).get("driver", {})
+    expect(driver.get("name") == "dblint", "tool.driver.name must be 'dblint'")
+    expect(
+        isinstance(driver.get("informationUri"), str),
+        "tool.driver.informationUri must be a string",
+    )
+
+    rules = driver.get("rules")
+    expect(isinstance(rules, list) and rules, "driver.rules must be non-empty")
+    rule_ids = []
+    for i, rule in enumerate(rules):
+        expect(isinstance(rule.get("id"), str) and rule["id"], f"rules[{i}].id missing")
+        text = rule.get("shortDescription", {}).get("text")
+        expect(
+            isinstance(text, str) and text,
+            f"rules[{i}].shortDescription.text missing",
+        )
+        rule_ids.append(rule["id"])
+    expect(len(set(rule_ids)) == len(rule_ids), "duplicate rule ids in driver table")
+
+    results = run.get("results")
+    expect(isinstance(results, list), "run.results must be an array")
+    for i, r in enumerate(results):
+        rid = r.get("ruleId")
+        expect(isinstance(rid, str) and rid, f"results[{i}].ruleId missing")
+        idx = r.get("ruleIndex")
+        if idx is not None:
+            expect(
+                isinstance(idx, int) and 0 <= idx < len(rule_ids),
+                f"results[{i}].ruleIndex {idx} out of range",
+            )
+            expect(
+                rule_ids[idx] == rid,
+                f"results[{i}].ruleIndex points at {rule_ids[idx]!r}, not {rid!r}",
+            )
+        expect(
+            r.get("level") in ("error", "warning", "note"),
+            f"results[{i}].level invalid: {r.get('level')!r}",
+        )
+        expect(
+            isinstance(r.get("message", {}).get("text"), str),
+            f"results[{i}].message.text missing",
+        )
+
+        locs = r.get("locations")
+        expect(isinstance(locs, list) and locs, f"results[{i}].locations missing")
+        for j, loc in enumerate(locs):
+            phys = loc.get("physicalLocation", {})
+            uri = phys.get("artifactLocation", {}).get("uri")
+            expect(
+                isinstance(uri, str) and uri and not uri.startswith("/"),
+                f"results[{i}].locations[{j}] uri must be repo-relative, got {uri!r}",
+            )
+            line = phys.get("region", {}).get("startLine")
+            expect(
+                isinstance(line, int) and line >= 1,
+                f"results[{i}].locations[{j}] startLine must be >= 1, got {line!r}",
+            )
+
+        for k, flow in enumerate(r.get("codeFlows", [])):
+            tflows = flow.get("threadFlows")
+            expect(
+                isinstance(tflows, list) and tflows,
+                f"results[{i}].codeFlows[{k}].threadFlows missing",
+            )
+            steps = tflows[0].get("locations")
+            expect(
+                isinstance(steps, list) and steps,
+                f"results[{i}].codeFlows[{k}] has no thread-flow locations",
+            )
+            for s, step in enumerate(steps):
+                sloc = step.get("location", {})
+                expect(
+                    isinstance(
+                        sloc.get("physicalLocation", {})
+                        .get("artifactLocation", {})
+                        .get("uri"),
+                        str,
+                    ),
+                    f"results[{i}].codeFlows[{k}] step {s} missing uri",
+                )
+
+    print(
+        f"check_sarif: OK: {len(rules)} rules, {len(results)} result(s), "
+        f"{sum(len(r.get('codeFlows', [])) for r in results)} code flow(s)"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        fail("usage: check_sarif.py <file.sarif>")
+    main(sys.argv[1])

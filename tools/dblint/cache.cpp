@@ -1,0 +1,317 @@
+#include "cache.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string_view>
+
+#include "text.hpp"
+
+namespace dblint {
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::filesystem::path cache_file_for(const std::string& cache_dir,
+                                     const std::string& path) {
+  return std::filesystem::path(cache_dir) / (hex64(fnv1a64(path)) + ".facts");
+}
+
+// Serialization helpers. Every record is one line; the only fields that may
+// contain spaces (diagnostic messages) go last on their line. Empty strings
+// are written as "-" (no identifier/path in the model is a bare dash).
+
+std::string opt(const std::string& s) { return s.empty() ? "-" : s; }
+std::string unopt(const std::string& s) { return s == "-" ? "" : s; }
+
+void write_marker_sets(std::ostream& os, const char* rec,
+                       const std::vector<std::set<std::string>>& sets) {
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (const std::string& rule : sets[i]) {
+      os << rec << " " << i << " " << rule << "\n";
+    }
+  }
+}
+
+// Cursor over the whole cache file: splits lines, then space-separated fields
+// within the current line. The loader IS the warm-path cost (the --stats gate
+// in CI asserts warm >= 3x faster than cold), so it walks raw pointers
+// instead of spinning up an istringstream per line.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& buf)
+      : p_(buf.data()), end_(buf.data() + buf.size()) {}
+
+  bool next_line() {
+    if (p_ >= end_) return false;
+    const char* nl = static_cast<const char*>(
+        std::memchr(p_, '\n', static_cast<std::size_t>(end_ - p_)));
+    line_ = std::string_view(p_, static_cast<std::size_t>((nl ? nl : end_) - p_));
+    p_ = nl ? nl + 1 : end_;
+    return true;
+  }
+
+  bool field(std::string_view* out) {
+    if (line_.empty()) return false;
+    const std::size_t sp = line_.find(' ');
+    *out = line_.substr(0, sp);
+    line_.remove_prefix(sp == std::string_view::npos ? line_.size() : sp + 1);
+    return true;
+  }
+
+  // Remainder of the current line, for trailing free-text (diag messages).
+  std::string_view rest() const { return line_; }
+
+ private:
+  const char* p_;
+  const char* end_;
+  std::string_view line_;
+};
+
+std::string str_field(Cursor& cur) {
+  std::string_view f;
+  return cur.field(&f) ? std::string(f) : std::string();
+}
+
+// Lenient like operator>>: a missing or malformed field leaves the default.
+template <typename T>
+T num_field(Cursor& cur) {
+  std::string_view f;
+  T v{};
+  if (cur.field(&f)) std::from_chars(f.data(), f.data() + f.size(), v);
+  return v;
+}
+
+}  // namespace
+
+std::vector<IncludeEdge> extract_includes(const std::vector<std::string>& raw_lines) {
+  std::vector<IncludeEdge> edges;
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& line = raw_lines[i];
+    std::size_t pos = line.find_first_not_of(" \t");
+    if (pos == std::string::npos || line[pos] != '#') continue;
+    pos = line.find_first_not_of(" \t", pos + 1);
+    if (pos == std::string::npos || line.compare(pos, 7, "include") != 0) continue;
+    const std::size_t open = line.find('"', pos + 7);
+    if (open == std::string::npos) continue;
+    const std::size_t close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    edges.push_back({i, line.substr(open + 1, close - open - 1)});
+  }
+  return edges;
+}
+
+std::uint64_t fnv1a64(const std::string& data) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+FileFacts compute_file_facts(const std::string& path, const std::string& content) {
+  FileFacts facts;
+  facts.path = path;
+  facts.token_diags = lint_file(path, content);
+  facts.includes = extract_includes(split_lines(content));
+  facts.index = index_file(path, content, &facts.status_names);
+  return facts;
+}
+
+void store_file_facts(const std::string& cache_dir, const std::string& path,
+                      std::uint64_t content_hash, const FileFacts& facts) {
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir, ec);
+  if (ec) return;
+  std::ofstream os(cache_file_for(cache_dir, path), std::ios::binary | std::ios::trunc);
+  if (!os) return;
+
+  os << "dblintcache " << kFormatVersion << " " << hex64(content_hash) << "\n";
+  os << "path " << facts.path << "\n";
+  // allows/fn_allows sizes define the line count (needed to rebuild the
+  // per-line vectors even when no marker exists).
+  os << "lines " << facts.index.allows.size() << "\n";
+  write_marker_sets(os, "allow", facts.index.allows);
+  write_marker_sets(os, "fnallow", facts.index.fn_allows);
+  for (const Diagnostic& d : facts.token_diags) {
+    os << "diag " << d.line << " " << d.rule << " " << d.message << "\n";
+  }
+  for (const IncludeEdge& e : facts.includes) {
+    os << "inc " << e.line_index << " " << e.target << "\n";
+  }
+  for (const std::string& name : facts.status_names) {
+    os << "status " << name << "\n";
+  }
+  for (const FunctionInfo& fn : facts.index.functions) {
+    os << "fn " << fn.line_index << " " << (fn.returns_status ? 1 : 0) << " "
+       << fn.name << " " << fn.qualified << " " << opt(fn.class_name) << "\n";
+    for (const std::string& p : fn.params) os << "p " << p << "\n";
+    for (const CallSite& c : fn.calls) {
+      os << "c " << c.line_index << " " << (c.member_call ? 1 : 0) << " "
+         << (c.result_discarded ? 1 : 0) << " " << (c.void_cast ? 1 : 0) << " "
+         << c.callee << " " << opt(c.chain_head) << "\n";
+      for (const std::vector<std::string>& arg : c.args) {
+        os << "a";
+        for (const std::string& ident : arg) os << " " << ident;
+        os << "\n";
+      }
+      for (const std::string& m : c.held_mutexes) os << "h " << m << "\n";
+    }
+    for (const GuardSite& g : fn.guards) {
+      os << "g " << g.line_index << " " << g.depth;
+      for (const std::string& m : g.mutexes) os << " " << m;
+      os << "\n";
+    }
+    for (const LockEdge& e : fn.lock_edges) {
+      os << "e " << e.line_index << " " << e.from << " " << e.to << "\n";
+    }
+    for (const Statement& s : fn.stmts) {
+      os << "s " << s.line_index << " " << (s.is_return ? 1 : 0) << " "
+         << (s.is_throw ? 1 : 0) << " " << opt(s.write_ident) << " "
+         << opt(s.decl_type) << " C";
+      for (const std::size_t c : s.calls) os << " " << c;
+      os << " R";
+      for (const std::string& r : s.read_idents) os << " " << r;
+      os << "\n";
+    }
+  }
+  os << "end\n";
+}
+
+bool load_file_facts(const std::string& cache_dir, const std::string& path,
+                     std::uint64_t content_hash, FileFacts* out) {
+  std::ifstream is(cache_file_for(cache_dir, path), std::ios::binary);
+  if (!is) return false;
+  std::string buf;
+  is.seekg(0, std::ios::end);
+  const auto size = is.tellg();
+  if (size < 0) return false;
+  buf.resize(static_cast<std::size_t>(size));
+  is.seekg(0);
+  is.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!is) return false;
+
+  Cursor cur(buf);
+  if (!cur.next_line()) return false;
+  if (str_field(cur) != "dblintcache" || num_field<int>(cur) != kFormatVersion ||
+      str_field(cur) != hex64(content_hash)) {
+    return false;
+  }
+
+  FileFacts facts;
+  FunctionInfo* fn = nullptr;
+  CallSite* call = nullptr;
+  bool saw_end = false;
+
+  std::string_view rec;
+  while (cur.next_line()) {
+    if (!cur.field(&rec)) continue;
+    if (rec == "path") {
+      facts.path = str_field(cur);
+      if (facts.path != path) return false;
+    } else if (rec == "lines") {
+      const std::size_t n = num_field<std::size_t>(cur);
+      facts.index.allows.resize(n);
+      facts.index.fn_allows.resize(n);
+    } else if (rec == "allow" || rec == "fnallow") {
+      const std::size_t i = num_field<std::size_t>(cur);
+      auto& sets = (rec == "allow") ? facts.index.allows : facts.index.fn_allows;
+      if (i >= sets.size()) return false;
+      sets[i].insert(str_field(cur));
+    } else if (rec == "diag") {
+      Diagnostic d;
+      d.file = path;
+      d.line = num_field<int>(cur);
+      d.rule = str_field(cur);
+      d.message = std::string(cur.rest());
+      facts.token_diags.push_back(std::move(d));
+    } else if (rec == "inc") {
+      IncludeEdge e;
+      e.line_index = num_field<std::size_t>(cur);
+      e.target = std::string(cur.rest());
+      facts.includes.push_back(std::move(e));
+    } else if (rec == "status") {
+      facts.status_names.insert(str_field(cur));
+    } else if (rec == "fn") {
+      FunctionInfo f;
+      f.line_index = num_field<std::size_t>(cur);
+      f.returns_status = num_field<int>(cur) != 0;
+      f.name = str_field(cur);
+      f.qualified = str_field(cur);
+      f.class_name = unopt(str_field(cur));
+      facts.index.functions.push_back(std::move(f));
+      fn = &facts.index.functions.back();
+      call = nullptr;
+    } else if (fn == nullptr) {
+      if (rec == "end") saw_end = true;
+      continue;
+    } else if (rec == "p") {
+      fn->params.push_back(str_field(cur));
+    } else if (rec == "c") {
+      CallSite c;
+      c.line_index = num_field<std::size_t>(cur);
+      c.member_call = num_field<int>(cur) != 0;
+      c.result_discarded = num_field<int>(cur) != 0;
+      c.void_cast = num_field<int>(cur) != 0;
+      c.callee = str_field(cur);
+      c.chain_head = unopt(str_field(cur));
+      fn->calls.push_back(std::move(c));
+      call = &fn->calls.back();
+    } else if (rec == "a") {
+      if (call == nullptr) return false;
+      std::vector<std::string> idents;
+      std::string_view ident;
+      while (cur.field(&ident)) idents.emplace_back(ident);
+      call->args.push_back(std::move(idents));
+    } else if (rec == "h") {
+      if (call == nullptr) return false;
+      call->held_mutexes.push_back(str_field(cur));
+    } else if (rec == "g") {
+      GuardSite g;
+      g.line_index = num_field<std::size_t>(cur);
+      g.depth = num_field<std::size_t>(cur);
+      std::string_view m;
+      while (cur.field(&m)) g.mutexes.emplace_back(m);
+      fn->guards.push_back(std::move(g));
+    } else if (rec == "e") {
+      LockEdge e;
+      e.line_index = num_field<std::size_t>(cur);
+      e.from = str_field(cur);
+      e.to = str_field(cur);
+      fn->lock_edges.push_back(std::move(e));
+    } else if (rec == "s") {
+      Statement s;
+      s.line_index = num_field<std::size_t>(cur);
+      s.is_return = num_field<int>(cur) != 0;
+      s.is_throw = num_field<int>(cur) != 0;
+      s.write_ident = unopt(str_field(cur));
+      s.decl_type = unopt(str_field(cur));
+      if (str_field(cur) != "C") return false;
+      std::string_view word;
+      while (cur.field(&word) && word != "R") {
+        std::size_t idx = 0;
+        std::from_chars(word.data(), word.data() + word.size(), idx);
+        s.calls.push_back(idx);
+      }
+      while (cur.field(&word)) s.read_idents.emplace_back(word);
+      fn->stmts.push_back(std::move(s));
+    } else if (rec == "end") {
+      saw_end = true;
+    }
+  }
+  if (!saw_end) return false;  // truncated write
+  facts.index.path = path;
+  *out = std::move(facts);
+  return true;
+}
+
+}  // namespace dblint

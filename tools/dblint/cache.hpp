@@ -1,0 +1,64 @@
+// dblint on-disk facts cache.
+//
+// The expensive part of a dblint run is per-file: strip + tokenize + index
+// + token rules. All of it is a pure function of the file's bytes, so the
+// result — a FileFacts record — is cached on disk keyed by a 64-bit FNV-1a
+// hash of the content. One cache file per source path (named by the hash of
+// the PATH, so renames never collide); a header line carries the format
+// version and the content hash, and any mismatch simply recomputes and
+// rewrites — the cache is self-pruning and never trusted beyond "the bytes
+// hashed the same".
+//
+// Repo-level passes (include graph, unchecked-status, lock-discipline, the
+// flow engine, leakage conformance) are cheap queries over the assembled
+// facts and always run fresh.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "index.hpp"
+#include "lint.hpp"
+
+namespace dblint {
+
+/// One `#include "..."` edge, kept so the layering pass can run without
+/// the raw file text.
+struct IncludeEdge {
+  std::size_t line_index = 0;
+  std::string target;  // as written, e.g. "crypto/gcm.hpp"
+};
+
+/// Everything dblint ever needs from one file: the cacheable unit.
+struct FileFacts {
+  std::string path;
+  std::vector<Diagnostic> token_diags;  // lint_file output (R1–R4, R10)
+  std::vector<IncludeEdge> includes;
+  FileIndex index;                      // functions, allows, fn_allows
+  std::set<std::string> status_names;   // Status/Result signature names
+};
+
+/// FNV-1a 64-bit. Cheap, deterministic, good enough for content keys in a
+/// trusted tree (this is a build cache, not an integrity boundary).
+std::uint64_t fnv1a64(const std::string& data);
+
+/// `#include "..."` edges of one file, by raw line scan.
+std::vector<IncludeEdge> extract_includes(const std::vector<std::string>& raw_lines);
+
+/// Computes the facts for one file from its raw bytes (used on cache miss
+/// and when no cache dir is configured).
+FileFacts compute_file_facts(const std::string& path, const std::string& content);
+
+/// Loads the cached facts for `path` if the cache file exists, parses, and
+/// its recorded content hash equals `content_hash`. Returns false otherwise.
+bool load_file_facts(const std::string& cache_dir, const std::string& path,
+                     std::uint64_t content_hash, FileFacts* out);
+
+/// Serializes `facts` for `path` into the cache dir (created if missing).
+/// Best-effort: failures are silent — the next run just recomputes.
+void store_file_facts(const std::string& cache_dir, const std::string& path,
+                      std::uint64_t content_hash, const FileFacts& facts);
+
+}  // namespace dblint

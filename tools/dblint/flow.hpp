@@ -1,0 +1,99 @@
+// dblint flow engine — interprocedural taint analysis over the index.hpp
+// fact base. This is what replaced R8's path allowlists: instead of asking
+// "is this FILE entitled to touch the wire", the engine asks "does a SECRET
+// or PLAINTEXT value actually FLOW into this egress call", across function
+// and TU boundaries.
+//
+// Model (DESIGN.md §14 has the full write-up):
+//
+//   sources     expose_secret() products, SecretBytes declarations, the
+//               document plaintext accessors (as_string/as_int/as_double/
+//               as_bool/scalar_bytes), decrypt products, and identifiers
+//               whose '_'-segments spell plaintext/cleartext/value/secret.
+//   sanitizers  the crypto-kernel entry points (encrypt/seal/prf/hmac/
+//               fingerprint/hash/digest/mac/sha segments). hkdf is NOT a
+//               sanitizer — its output is key material. decrypt is a
+//               source, not a sanitizer.
+//   sinks       the egress calls (RpcClient::call / send_batch,
+//               Channel::transfer_*, ReplicaGroup::call_read/call_write,
+//               RpcServer::dispatch), log_line, and replica LogEntry
+//               construction.
+//
+// Per-function summaries (which params reach a sink, which params flow to
+// the return value, whether the return value is secret, whether the body
+// reaches egress at all) are propagated to fixpoint across the call graph,
+// so a secret that takes three hops through helpers before hitting
+// send_batch is caught — with the full source → … → sink trace attached to
+// the diagnostic.
+//
+// Rules:
+//   secret-egress     (R11)  no unsanitized secret/plaintext flow may reach
+//                            an egress sink. Replaces plaintext-egress (R8).
+//   wipe-on-all-paths (R12)  a raw owning copy of an expose_secret()
+//                            product must reach secure_wipe/wipe_region (or
+//                            be adopted by SecretBytes, whose adopting
+//                            constructor wipes the source) before every
+//                            return/throw edge after it.
+//   lock-held-egress  (R13)  no RPC/channel sink may be reachable — directly
+//                            or through callees — while a mutex from the R7
+//                            lock model is held.
+//
+// Scope: findings are reported for src/ only (src/workload/ is exempt from
+// R11 — the simulated client's job is plaintext); summaries are computed
+// over every indexed function so helpers anywhere contribute. Suppression:
+// `dblint:allow(<rule>)` at the finding line, or `dblint:allow-fn(<rule>)`
+// on the enclosing function's signature for the whole body.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "index.hpp"
+#include "lint.hpp"
+
+namespace dblint {
+
+/// One sanctioned secret→sanitizer crossing observed in src/: the inventory
+/// behind doc/SECRET_FLOWS.md. Deliberately line-free so the document only
+/// drifts when a flow appears/disappears, not when code shifts.
+struct SanctionedFlow {
+  std::string file;
+  std::string function;   // qualified name containing the crossing
+  std::string sanitizer;  // callee that consumed the tainted value
+  std::string source;     // first trace step's note (where the taint began)
+
+  bool operator==(const SanctionedFlow&) const = default;
+  bool operator<(const SanctionedFlow& o) const {
+    if (file != o.file) return file < o.file;
+    if (function != o.function) return function < o.function;
+    if (sanitizer != o.sanitizer) return sanitizer < o.sanitizer;
+    return source < o.source;
+  }
+};
+
+struct FlowAnalysis {
+  std::vector<Diagnostic> diagnostics;     // R11–R13, traces attached
+  std::vector<SanctionedFlow> sanctioned;  // sorted, deduplicated
+};
+
+/// Runs the summary fixpoint + report pass over a built index.
+FlowAnalysis analyze_flows(const RepoIndex& index);
+
+/// Introspection view of one function's converged summary, for tests.
+struct FlowSummary {
+  std::string file;
+  std::string qualified;
+  std::set<int> params_to_sink;    // param indices that reach an egress sink
+  std::set<int> params_to_return;  // param indices that flow to the return
+  bool returns_secret = false;     // return value carries inherent taint
+  bool reaches_egress = false;     // body (or a callee) performs egress
+};
+
+/// Converged summaries for every indexed function, in index order.
+std::vector<FlowSummary> flow_summaries(const RepoIndex& index);
+
+/// doc/SECRET_FLOWS.md content for the given analysis result.
+std::string secret_flows_markdown(const std::vector<SanctionedFlow>& flows);
+
+}  // namespace dblint

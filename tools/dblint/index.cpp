@@ -15,6 +15,13 @@ bool is_keyword(const std::string& s) {
   return kKeywords.count(s) > 0;
 }
 
+bool is_decl_qualifier(const std::string& s) {
+  static const std::set<std::string> kQualifiers = {
+      "const", "static", "constexpr", "inline", "mutable",
+      "volatile", "thread_local", "struct", "class", "typename"};
+  return kQualifiers.count(s) > 0;
+}
+
 /// Index of the token matching tokens[open] (an `open_text` delimiter), or
 /// npos. Counts only its own delimiter kind, so mixed nesting is fine.
 std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open,
@@ -108,9 +115,37 @@ std::string normalize_mutex(const std::vector<Token>& tokens, std::size_t begin,
   return name;
 }
 
+/// Collects the identifiers inside each top-level argument of a call whose
+/// '(' sits at `open` and matching ')' at `close`.
+std::vector<std::vector<std::string>> collect_call_args(
+    const std::vector<Token>& tokens, std::size_t open, std::size_t close) {
+  std::vector<std::vector<std::string>> args;
+  if (close <= open + 1) return args;  // zero-arg call
+  std::vector<std::string> current;
+  int nest = 0;
+  for (std::size_t k = open + 1; k < close; ++k) {
+    const std::string& t = tokens[k].text;
+    if (t == "(" || t == "{" || t == "[") ++nest;
+    if (t == ")" || t == "}" || t == "]") --nest;
+    if (t == "," && nest == 0) {
+      args.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    if (tokens[k].is_ident && !is_keyword(t)) current.push_back(t);
+  }
+  args.push_back(std::move(current));
+  return args;
+}
+
 /// Walks one function body: brace depth, guard scopes (with held-before
-/// edges), and call sites with discard classification.
-void scan_body(const std::vector<Token>& tokens, FunctionInfo* fn) {
+/// edges), and call sites with discard classification, argument identifier
+/// lists, and the mutexes held at each site. `call_tokens` receives the
+/// callee-token index of each recorded call (parallel to fn->calls) so the
+/// statement scanner can map calls into statements.
+void scan_body(const std::vector<Token>& tokens, std::size_t body_begin,
+               std::size_t body_end, FunctionInfo* fn,
+               std::vector<std::size_t>* call_tokens) {
   struct OpenGuard {
     std::size_t depth;
     std::vector<std::string> mutexes;
@@ -118,7 +153,7 @@ void scan_body(const std::vector<Token>& tokens, FunctionInfo* fn) {
   std::vector<OpenGuard> open_guards;
   std::size_t depth = 0;
 
-  for (std::size_t i = fn->body_begin; i <= fn->body_end; ++i) {
+  for (std::size_t i = body_begin; i <= body_end; ++i) {
     const Token& t = tokens[i];
     if (t.text == "{") {
       ++depth;
@@ -135,16 +170,16 @@ void scan_body(const std::vector<Token>& tokens, FunctionInfo* fn) {
     // --- RAII guard acquisition ------------------------------------------
     if (t.is_ident && guard_types().count(t.text) > 0) {
       std::size_t j = i + 1;
-      if (j < fn->body_end && tokens[j].text == "<") {
+      if (j < body_end && tokens[j].text == "<") {
         const std::size_t past = skip_template_args(tokens, j);
         if (past == std::string::npos) continue;
         j = past;
       }
-      if (j + 1 >= fn->body_end || !tokens[j].is_ident || tokens[j + 1].text != "(") {
+      if (j + 1 >= body_end || !tokens[j].is_ident || tokens[j + 1].text != "(") {
         continue;  // e.g. a mention in a type alias — no acquisition
       }
       const std::size_t close = match_forward(tokens, j + 1, "(", ")");
-      if (close == std::string::npos || close > fn->body_end) continue;
+      if (close == std::string::npos || close > body_end) continue;
 
       GuardSite guard;
       guard.line_index = t.line_index;
@@ -178,23 +213,26 @@ void scan_body(const std::vector<Token>& tokens, FunctionInfo* fn) {
     }
 
     // --- call sites -------------------------------------------------------
-    if (t.text == "(" && i > fn->body_begin && tokens[i - 1].is_ident &&
+    if (t.text == "(" && i > body_begin && tokens[i - 1].is_ident &&
         !is_keyword(tokens[i - 1].text)) {
       const std::size_t close = match_forward(tokens, i, "(", ")");
-      if (close == std::string::npos || close > fn->body_end) continue;
+      if (close == std::string::npos || close > body_end) continue;
 
       CallSite call;
       call.callee = tokens[i - 1].text;
-      call.callee_token = i - 1;
-      call.close_token = close;
       call.line_index = tokens[i - 1].line_index;
+      call.args = collect_call_args(tokens, i, close);
+      for (const OpenGuard& held : open_guards) {
+        call.held_mutexes.insert(call.held_mutexes.end(), held.mutexes.begin(),
+                                 held.mutexes.end());
+      }
 
       // Walk the member chain back to its head: `store_.sub().sync(` is
       // approximated by stepping over `ident . ident` pairs.
       std::size_t h = i - 1;
-      call.member_call = h > fn->body_begin && (tokens[h - 1].text == "." ||
-                                                tokens[h - 1].text == "->");
-      while (h >= fn->body_begin + 2 &&
+      call.member_call = h > body_begin && (tokens[h - 1].text == "." ||
+                                            tokens[h - 1].text == "->");
+      while (h >= body_begin + 2 &&
              (tokens[h - 1].text == "." || tokens[h - 1].text == "->" ||
               tokens[h - 1].text == "::") &&
              tokens[h - 2].is_ident) {
@@ -206,7 +244,7 @@ void scan_body(const std::vector<Token>& tokens, FunctionInfo* fn) {
       // terminated by ';' and preceded by a statement boundary. A `)`
       // boundary covers `if (...) chain.f();` — still a discard — while a
       // preceding `(void)` cast marks the discard deliberate.
-      if (close + 1 <= fn->body_end && tokens[close + 1].text == ";") {
+      if (close + 1 <= body_end && tokens[close + 1].text == ";") {
         const std::size_t p = h - 1;  // h > body_begin always (body '{' first)
         const std::string& pt = tokens[p].text;
         if (pt == ";" || pt == "{" || pt == "}" || pt == ")" || pt == "else") {
@@ -217,10 +255,170 @@ void scan_body(const std::vector<Token>& tokens, FunctionInfo* fn) {
           }
         }
       }
+      call_tokens->push_back(i - 1);
       fn->calls.push_back(std::move(call));
       continue;
     }
   }
+}
+
+/// Resolves the written lvalue left of the '=' at token `eq`: walks back
+/// over a subscript, then over a `.`/`->`/`::` chain to its HEAD, so
+/// `entry.wire = x` writes `entry` and `cache_[k] = x` writes `cache_`.
+std::string lvalue_head(const std::vector<Token>& tokens, std::size_t begin,
+                        std::size_t eq) {
+  if (eq == begin) return {};
+  std::size_t p = eq - 1;
+  // Compound assignment: `buf += x` tokenizes as '+' '='.
+  static const std::set<std::string> kCompound = {"+", "-", "*", "/", "%",
+                                                  "&", "|", "^", "<<", ">>"};
+  if (kCompound.count(tokens[p].text) > 0) {
+    if (p == begin) return {};
+    --p;
+  }
+  if (tokens[p].text == "]") {
+    int depth = 1;
+    while (p > begin && depth > 0) {
+      --p;
+      if (tokens[p].text == "]") ++depth;
+      if (tokens[p].text == "[") --depth;
+    }
+    if (p == begin) return {};
+    --p;
+  }
+  while (p >= begin + 2 &&
+         (tokens[p - 1].text == "." || tokens[p - 1].text == "->" ||
+          tokens[p - 1].text == "::") &&
+         tokens[p - 2].is_ident) {
+    p -= 2;
+  }
+  return tokens[p].is_ident ? tokens[p].text : std::string{};
+}
+
+/// Detects a declaration at the start of a statement fragment. On success
+/// sets decl_type (LAST segment of the type chain: `std::string` ->
+/// "string", `SecretBytes` -> "SecretBytes") and returns the token index of
+/// the declared identifier; npos otherwise.
+std::size_t detect_declaration(const std::vector<Token>& tokens, std::size_t begin,
+                               std::size_t end, std::string* decl_type) {
+  std::size_t i = begin;
+  while (i < end && tokens[i].is_ident && is_decl_qualifier(tokens[i].text)) ++i;
+  if (i >= end || !tokens[i].is_ident || is_keyword(tokens[i].text)) return std::string::npos;
+  std::string type = tokens[i].text;
+  ++i;
+  while (i + 1 < end && tokens[i].text == "::" && tokens[i + 1].is_ident) {
+    type = tokens[i + 1].text;
+    i += 2;
+  }
+  if (i < end && tokens[i].text == "<") {
+    const std::size_t past = skip_template_args(tokens, i);
+    if (past == std::string::npos) return std::string::npos;
+    i = past;
+  }
+  while (i < end && (tokens[i].text == "*" || tokens[i].text == "&" ||
+                     tokens[i].text == "&&" || tokens[i].text == "const")) {
+    ++i;
+  }
+  if (i >= end || !tokens[i].is_ident || is_keyword(tokens[i].text)) return std::string::npos;
+  // The declared name must be followed by an initializer or terminator —
+  // `foo (x)` is a call, `Bytes x(...)` / `Bytes x = ...` / `Bytes x;` are
+  // declarations (the fragment end doubles as the ';' / '{' boundary).
+  if (i + 1 < end) {
+    const std::string& nx = tokens[i + 1].text;
+    if (nx != "=" && nx != "(" && nx != "{" && nx != "," && nx != "[") {
+      return std::string::npos;
+    }
+  }
+  *decl_type = type;
+  return i;
+}
+
+/// Splits the body into statement fragments (boundaries: ';', '{', '}') and
+/// computes per-fragment flow facts. `call_tokens` maps fn->calls entries to
+/// their callee-token index.
+void scan_statements(const std::vector<Token>& tokens, std::size_t body_begin,
+                     std::size_t body_end, FunctionInfo* fn,
+                     const std::vector<std::size_t>& call_tokens) {
+  std::size_t frag_begin = body_begin + 1;
+  for (std::size_t i = body_begin + 1; i <= body_end; ++i) {
+    const std::string& t = tokens[i].text;
+    if (t != ";" && t != "{" && t != "}" && i != body_end) continue;
+    const std::size_t frag_end = i;  // exclusive
+    if (frag_end > frag_begin) {
+      Statement stmt;
+      stmt.line_index = tokens[frag_begin].line_index;
+
+      int depth = 0;
+      std::size_t eq = std::string::npos;
+      for (std::size_t k = frag_begin; k < frag_end; ++k) {
+        const std::string& kt = tokens[k].text;
+        if (kt == "(" || kt == "[") ++depth;
+        if (kt == ")" || kt == "]") --depth;
+        if (depth == 0) {
+          if (kt == "return" || kt == "co_return") stmt.is_return = true;
+          if (kt == "throw") stmt.is_throw = true;
+          if (kt == "=" && eq == std::string::npos) eq = k;
+        }
+      }
+
+      std::size_t reads_from = frag_begin;
+      const std::size_t decl_ident =
+          detect_declaration(tokens, frag_begin, frag_end, &stmt.decl_type);
+      if (eq != std::string::npos) {
+        stmt.write_ident = lvalue_head(tokens, frag_begin, eq);
+        reads_from = eq + 1;
+      } else if (decl_ident != std::string::npos) {
+        stmt.write_ident = tokens[decl_ident].text;
+        reads_from = decl_ident + 1;  // ctor-style init: read the arguments
+      }
+      for (std::size_t k = reads_from; k < frag_end; ++k) {
+        if (!tokens[k].is_ident || is_keyword(tokens[k].text)) continue;
+        if (std::find(stmt.read_idents.begin(), stmt.read_idents.end(),
+                      tokens[k].text) == stmt.read_idents.end()) {
+          stmt.read_idents.push_back(tokens[k].text);
+        }
+      }
+      for (std::size_t c = 0; c < call_tokens.size(); ++c) {
+        if (call_tokens[c] >= frag_begin && call_tokens[c] < frag_end) {
+          stmt.calls.push_back(c);
+        }
+      }
+      if (!stmt.read_idents.empty() || !stmt.write_ident.empty() ||
+          !stmt.calls.empty() || stmt.is_return || stmt.is_throw) {
+        fn->stmts.push_back(std::move(stmt));
+      }
+    }
+    frag_begin = i + 1;
+  }
+}
+
+/// Parses the parameter names out of a definition's `(...)` span.
+std::vector<std::string> parse_params(const std::vector<Token>& tokens,
+                                      std::size_t open, std::size_t close) {
+  std::vector<std::string> params;
+  std::size_t chunk_begin = open + 1;
+  int nest = 0;
+  for (std::size_t k = open + 1; k <= close; ++k) {
+    const std::string& t = tokens[k].text;
+    if (t == "(" || t == "{" || t == "[" || t == "<") ++nest;
+    if (t == ")" || t == "}" || t == "]" || t == ">") --nest;
+    const bool at_close = (k == close);
+    if ((t == "," && nest == 0) || at_close) {
+      // Name = last identifier before a top-level '=' (default argument).
+      std::string name;
+      int d = 0;
+      for (std::size_t p = chunk_begin; p < k; ++p) {
+        const std::string& pt = tokens[p].text;
+        if (pt == "(" || pt == "{" || pt == "[" || pt == "<") ++d;
+        if (pt == ")" || pt == "}" || pt == "]" || pt == ">") --d;
+        if (pt == "=" && d == 0) break;
+        if (tokens[p].is_ident && !is_keyword(pt)) name = pt;
+      }
+      if (!name.empty() && name != "void") params.push_back(name);
+      chunk_begin = k + 1;
+    }
+  }
+  return params;
 }
 
 /// Extracts function definitions from one file's token stream, tracking
@@ -386,8 +584,7 @@ std::vector<FunctionInfo> extract_functions(const std::vector<Token>& tokens) {
     fn.qualified = qualified;
     fn.class_name = class_name;
     fn.line_index = tokens[chain_start].line_index;
-    fn.body_begin = body;
-    fn.body_end = body_end;
+    fn.params = parse_params(tokens, i, close);
     if (chain_start > 0) {
       const Token& prev = tokens[chain_start - 1];
       if (prev.text == "Status") {
@@ -406,7 +603,9 @@ std::vector<FunctionInfo> extract_functions(const std::vector<Token>& tokens) {
         if (b >= 1 && tokens[b - 1].text == "Result") fn.returns_status = true;
       }
     }
-    scan_body(tokens, &fn);
+    std::vector<std::size_t> call_tokens;
+    scan_body(tokens, body, body_end, &fn, &call_tokens);
+    scan_statements(tokens, body, body_end, &fn, call_tokens);
     functions.push_back(std::move(fn));
     i = body_end + 1;
   }
@@ -415,16 +614,23 @@ std::vector<FunctionInfo> extract_functions(const std::vector<Token>& tokens) {
 
 }  // namespace
 
+FileIndex index_file(const std::string& path, const std::string& content,
+                     std::set<std::string>* status_out) {
+  FileIndex fi;
+  fi.path = path;
+  const std::vector<Token> tokens = tokenize(strip_comments_and_strings(content));
+  const std::vector<std::string> raw_lines = split_lines(content);
+  fi.allows = collect_allows(raw_lines);
+  fi.fn_allows = collect_fn_allows(raw_lines);
+  fi.functions = extract_functions(tokens);
+  if (status_out != nullptr) collect_status_signatures(tokens, status_out);
+  return fi;
+}
+
 RepoIndex build_index(const std::vector<FileInput>& files) {
   RepoIndex index;
   for (const FileInput& f : files) {
-    FileIndex fi;
-    fi.path = f.path;
-    fi.tokens = tokenize(strip_comments_and_strings(f.content));
-    fi.allows = collect_allows(split_lines(f.content));
-    fi.functions = extract_functions(fi.tokens);
-    collect_status_signatures(fi.tokens, &index.status_returning);
-    index.files.push_back(std::move(fi));
+    index.files.push_back(index_file(f.path, f.content, &index.status_returning));
   }
   return index;
 }

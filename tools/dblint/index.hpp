@@ -1,17 +1,24 @@
-// dblint indexer — a single token-level pass over src/ + tests/ that
+// dblint indexer — a single token-level pass over the linted tree that
 // extracts the facts the flow-sensitive rules need, without libclang:
 //
-//   * function definitions (qualified name, enclosing class, body span),
+//   * function definitions (qualified name, enclosing class, parameter
+//     names, body span),
 //   * call sites inside each body (callee, member-chain head, whether the
-//     result is consumed),
+//     result is consumed, the identifiers appearing in each argument, and
+//     the mutexes held at the site),
 //   * RAII guard scopes (lock_guard / scoped_lock / unique_lock /
 //     shared_lock) with normalized, class-qualified mutex names and the
 //     brace depth they live at,
+//   * statement-level flow facts (the identifier written, the identifiers
+//     read, return/throw edges, the declared type) — the substrate the
+//     interprocedural taint engine (flow.hpp) runs its summaries over,
 //   * the set of function names whose declared return type is Status or
 //     Result<...>.
 //
-// Everything downstream — unchecked-status, lock-discipline,
-// plaintext-egress — is a query over this in-memory fact base. The
+// Everything downstream — unchecked-status, lock-discipline, the taint
+// flow rules — is a query over this in-memory fact base; no pass touches
+// raw tokens again, which is what lets the on-disk cache (cache.hpp)
+// serialize a FileIndex instead of re-lexing unchanged files. The
 // extraction is heuristic by design: a construct the indexer cannot parse
 // simply contributes no facts (and therefore no findings), never a crash.
 #pragma once
@@ -30,12 +37,14 @@ namespace dblint {
 struct CallSite {
   std::string callee;       // final identifier before '(' (e.g. "sync")
   std::string chain_head;   // first identifier of the member chain ("store_")
-  std::size_t callee_token = 0;  // index into FileIndex::tokens
-  std::size_t close_token = 0;   // index of the matching ')'
   std::size_t line_index = 0;    // 0-based
   bool member_call = false;      // reached via '.' or '->'
   bool result_discarded = false; // full-expression statement, value unused
   bool void_cast = false;        // `(void)chain.call();` — deliberate discard
+  /// Identifiers appearing in each top-level argument, in order.
+  std::vector<std::vector<std::string>> args;
+  /// Normalized mutex names whose RAII guards are open at this site.
+  std::vector<std::string> held_mutexes;
 };
 
 /// One RAII guard acquisition inside a function body.
@@ -54,23 +63,37 @@ struct LockEdge {
   std::size_t line_index = 0;  // acquisition site of `to`
 };
 
+/// One statement (or statement fragment — `if (...)` headers and for-loop
+/// parts split the same way) inside a function body. The flow engine's
+/// transfer function runs over these.
+struct Statement {
+  std::size_t line_index = 0;
+  std::string write_ident;   // chain head of the lvalue left of '=' ("" if none)
+  std::string decl_type;     // last type segment when this declares ("Bytes",
+                             // "SecretBytes", "string", "auto", ...; "" if not)
+  std::vector<std::string> read_idents;  // identifiers read (RHS / whole stmt)
+  std::vector<std::size_t> calls;        // indices into FunctionInfo::calls
+  bool is_return = false;                // contains a top-level `return`
+  bool is_throw = false;                 // contains a top-level `throw`
+};
+
 struct FunctionInfo {
   std::string name;        // unqualified ("sync")
   std::string qualified;   // as written ("KvStore::sync")
   std::string class_name;  // enclosing class, from the qualifier or scope
   std::size_t line_index = 0;
-  std::size_t body_begin = 0;  // token index of '{'
-  std::size_t body_end = 0;    // token index of matching '}'
-  bool returns_status = false; // Status or Result<...> return type
+  bool returns_status = false;  // Status or Result<...> return type
+  std::vector<std::string> params;  // parameter names, in order
   std::vector<CallSite> calls;
   std::vector<GuardSite> guards;
   std::vector<LockEdge> lock_edges;
+  std::vector<Statement> stmts;
 };
 
 struct FileIndex {
   std::string path;
-  std::vector<Token> tokens;                   // strings/comments stripped
-  std::vector<std::set<std::string>> allows;   // dblint:allow markers
+  std::vector<std::set<std::string>> allows;     // dblint:allow markers
+  std::vector<std::set<std::string>> fn_allows;  // dblint:allow-fn markers
   std::vector<FunctionInfo> functions;
 };
 
@@ -80,6 +103,11 @@ struct RepoIndex {
   /// Status / Result<...> return type anywhere in the indexed set.
   std::set<std::string> status_returning;
 };
+
+/// Indexes one file: tokenize, extract functions + statement facts, collect
+/// escape markers, and contribute Status/Result signatures to `status_out`.
+FileIndex index_file(const std::string& path, const std::string& content,
+                     std::set<std::string>* status_out);
 
 RepoIndex build_index(const std::vector<FileInput>& files);
 

@@ -22,18 +22,18 @@ bool is_tactic_file(const std::string& path) {
 
 /// Maps an enumerator spelling ("kInsert") to its TacticOperation value,
 /// via the token table that lives next to the enum itself. -1 if unknown.
-int operation_from_token(const std::string& token) {
+int operation_from_token(const std::string& spelling) {
   for (int v = 0; v < schema::kTacticOperationCount; ++v) {
-    if (token == schema::tactic_operation_token(static_cast<TacticOperation>(v))) {
+    if (spelling == schema::tactic_operation_token(static_cast<TacticOperation>(v))) {
       return v;
     }
   }
   return -1;
 }
 
-int level_from_token(const std::string& token) {
+int level_from_token(const std::string& spelling) {
   for (int v = 1; v <= 5; ++v) {
-    if (token == schema::leakage_level_token(static_cast<LeakageLevel>(v))) return v;
+    if (spelling == schema::leakage_level_token(static_cast<LeakageLevel>(v))) return v;
   }
   return -1;
 }

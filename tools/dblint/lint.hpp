@@ -1,15 +1,14 @@
 // dblint — DataBlinder's in-repo static analyzer.
 //
 // A deliberately small, dependency-free checker (no libclang): v1 is a
-// token-level scan over src/ and tests/ plus an include-graph pass; v2
-// adds a lightweight indexer (index.hpp) — one pass extracting function
-// definitions, call edges, RAII guard scopes and Status-returning
-// signatures into an in-memory fact base — and rules that query it.
-// It exists to make the repo's safety types enforceable: SecretBytes
-// (src/common/secret.hpp) gets its textual escape hatches closed, the
-// leakage-ceiling table (src/schema/leakage.hpp) gets machine-checked
-// against every tactic's declared profile, and [[nodiscard]] Status gets a
-// portable twin of -Wunused-result.
+// token-level scan plus an include-graph pass; v2 adds a lightweight
+// indexer (index.hpp) — one pass extracting function definitions, call
+// edges, RAII guard scopes and Status-returning signatures into an
+// in-memory fact base — and rules that query it; v3 adds an
+// interprocedural taint-flow engine (flow.hpp) over per-function summaries
+// propagated to fixpoint, an on-disk facts cache (cache.hpp) keyed by
+// content hash, and SARIF 2.1.0 output (sarif.hpp) for CI code-scanning
+// annotations. The linted tree covers src/, tests/, bench/ and tools/.
 //
 // Rules:
 //   ct-compare          (R1)  no memcmp/operator== on tag/key/token/mac
@@ -17,8 +16,10 @@
 //   rng                 (R2)  DetRng/mt19937/rand() banned under
 //                             src/crypto, src/kms, src/ppe, src/sse,
 //                             src/phe; SecureRng only.
-//   expose              (R3)  expose_secret() only in allowlisted
-//                             crypto-kernel files.
+//   expose              (R3)  expose_secret() only in the crypto kernel
+//                             (secret.{hpp,cpp} + crypto/ppe/sse/phe
+//                             kernels); everywhere else needs a justified
+//                             dblint:allow(expose) escape.
 //   log-secret          (R4)  no logging statement may receive SecretBytes
 //                             contents or key/secret-pattern identifiers.
 //   layering            (R5)  include layering + no include cycles.
@@ -26,8 +27,6 @@
 //                             returning function (see passes.hpp).
 //   lock-discipline     (R7)  no raw .lock()/.unlock(); acyclic lock-order
 //                             graph from nested guard scopes.
-//   plaintext-egress    (R8)  plaintext-derived identifiers reach egress
-//                             calls only from allowlisted kernels.
 //   leakage-conformance (R9)  declared tactic leakage within the
 //                             schema/leakage.hpp ceilings; doc/LEAKAGE.md
 //                             in sync (see leakage_pass.hpp).
@@ -35,9 +34,20 @@
 //                             core/hot_cache (SecretBytes entries, wiped
 //                             on eviction); no other cache-named container
 //                             may receive expose_secret() products.
+//   secret-egress       (R11) interprocedural: no unsanitized secret/
+//                             plaintext flow reaches an egress sink; the
+//                             diagnostic carries the source→…→sink trace
+//                             (see flow.hpp — replaces R8's allowlists).
+//   wipe-on-all-paths   (R12) raw copies of expose_secret() products are
+//                             wiped on every return/throw edge.
+//   lock-held-egress    (R13) no RPC/channel sink reachable while a mutex
+//                             from the R7 lock model is held.
 //
-// Escape hatch: a finding on line N is suppressed when line N (or the
-// line immediately above) carries `// dblint:allow(<rule>): reason`.
+// Escape hatches: a finding on line N is suppressed when line N (or the
+// line immediately above) carries `// dblint:allow(<rule>): reason`; the
+// flow rules (R11–R13) additionally honor `// dblint:allow-fn(<rule>):
+// reason` on a function's signature line, suppressing the rule for that
+// whole body.
 #pragma once
 
 #include <string>
@@ -45,20 +55,31 @@
 
 namespace dblint {
 
+/// One hop of a flow trace attached to a diagnostic (R11–R13).
+struct TraceStep {
+  std::string file;  // repo-relative
+  int line = 0;      // 1-based
+  std::string note;
+
+  bool operator==(const TraceStep&) const = default;
+};
+
 struct Diagnostic {
   std::string file;  // repo-relative, '/'-separated
   int line = 0;      // 1-based
   std::string rule;  // e.g. "ct-compare"
   std::string message;
+  std::vector<TraceStep> trace;  // source→…→sink, flow rules only
 
   bool operator==(const Diagnostic&) const = default;
 };
 
-/// "file:line: [rule] message" — the CI-greppable form.
+/// "file:line: [rule] message" — the CI-greppable form; flow traces follow
+/// as indented "    trace: file:line: note" lines.
 std::string format(const Diagnostic& d);
 
-/// The same diagnostics as a JSON array (stable key order:
-/// file, line, rule, message) for tooling; `dblint --json`.
+/// The same diagnostics as a JSON array (stable key order: file, line,
+/// rule, message, trace) for tooling; `dblint --json`.
 std::string to_json(const std::vector<Diagnostic>& diagnostics);
 
 struct FileInput {
@@ -66,25 +87,40 @@ struct FileInput {
   std::string content;
 };
 
-/// Token-level rules (R1–R4) over one file. `path` decides which rules
-/// apply (restricted dirs, allowlists).
+/// Token-level rules (R1–R4, R10) over one file. `path` decides which
+/// rules apply (restricted dirs, kernel allowlist).
 std::vector<Diagnostic> lint_file(const std::string& path, const std::string& content);
 
 /// Include-graph rules (R5) over a set of files (normally everything
 /// under src/).
 std::vector<Diagnostic> lint_include_graph(const std::vector<FileInput>& files);
 
-/// Indexer-backed rules (R6–R8) over a set of files: builds the fact base
-/// (index.hpp) once, then runs unchecked-status, lock-discipline and
-/// plaintext-egress against it.
+/// Indexer-backed rules (R6, R7, R11–R13) over a set of files: builds the
+/// fact base (index.hpp) once, then runs unchecked-status, lock-discipline
+/// and the taint-flow engine against it.
 std::vector<Diagnostic> lint_indexed(const std::vector<FileInput>& files);
 
-/// Every .hpp/.cpp under `repo_root`/src and `repo_root`/tests, paths
-/// repo-relative. The walk behind lint_tree and --emit-leakage-matrix.
+/// Every .hpp/.cpp under `repo_root`/{src,tests,bench,tools}, paths
+/// repo-relative. The walk behind lint_tree and the --emit-* modes.
 std::vector<FileInput> read_tree(const std::string& repo_root);
 
-/// Runs every rule (R1–R9) over the repo, including the doc/LEAKAGE.md
-/// drift check. Diagnostics come back sorted by file then line.
+struct LintOptions {
+  std::string cache_dir;  // "" disables the on-disk facts cache
+};
+
+struct LintStats {
+  std::size_t files = 0;
+  std::size_t cache_hits = 0;
+  double analysis_ms = 0.0;  // per-file phase only: hash + (load | compute)
+};
+
+/// Runs every rule over the repo, including the doc/LEAKAGE.md and
+/// doc/SECRET_FLOWS.md drift checks. Diagnostics come back sorted by file
+/// then line. With a cache dir set, unchanged files load their facts from
+/// disk instead of re-lexing; `stats` (optional) reports the hit count and
+/// the per-file analysis time — the portion the cache accelerates.
+std::vector<Diagnostic> lint_tree(const std::string& repo_root,
+                                  const LintOptions& options, LintStats* stats);
 std::vector<Diagnostic> lint_tree(const std::string& repo_root);
 
 }  // namespace dblint

@@ -1,29 +1,68 @@
 // dblint driver.
 //
-//   dblint [--json] [repo_root]         run every pass; exit 1 on findings
+//   dblint [--json|--sarif] [--cache DIR] [--stats] [repo_root]
+//                                       run every pass; exit 1 on findings
 //   dblint --emit-leakage-matrix [root] regenerate doc/LEAKAGE.md from the
 //                                       schema ceilings + tactic tables
+//   dblint --emit-secret-flows [root]   regenerate doc/SECRET_FLOWS.md from
+//                                       the taint engine's sanctioned-flow
+//                                       inventory
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
 
+#include "flow.hpp"
+#include "index.hpp"
 #include "leakage_pass.hpp"
 #include "lint.hpp"
+#include "sarif.hpp"
+
+namespace {
+
+bool write_doc(const std::string& root, const char* name, const std::string& content) {
+  const std::filesystem::path path = std::filesystem::path(root) / "doc" / name;
+  std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "dblint: cannot write %s\n", path.string().c_str());
+    return false;
+  }
+  std::fprintf(stdout, "dblint: wrote %s\n", path.string().c_str());
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool sarif = false;
+  bool stats = false;
   bool emit_matrix = false;
+  bool emit_flows = false;
+  std::string cache_dir;
   std::string root = ".";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--sarif") == 0) {
+      sarif = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      cache_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--emit-leakage-matrix") == 0) {
       emit_matrix = true;
+    } else if (std::strcmp(argv[i], "--emit-secret-flows") == 0) {
+      emit_flows = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::fprintf(stdout,
-                   "usage: dblint [--json] [--emit-leakage-matrix] [repo_root]\n");
+                   "usage: dblint [--json|--sarif] [--cache DIR] [--stats]\n"
+                   "              [--emit-leakage-matrix] [--emit-secret-flows]\n"
+                   "              [repo_root]\n");
       return 0;
     } else {
       root = argv[i];
@@ -32,22 +71,30 @@ int main(int argc, char** argv) {
 
   if (emit_matrix) {
     const std::string matrix = dblint::leakage_matrix_markdown(dblint::read_tree(root));
-    const std::filesystem::path path = std::filesystem::path(root) / "doc" / "LEAKAGE.md";
-    std::filesystem::create_directories(path.parent_path());
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out << matrix;
-    out.close();
-    if (!out) {
-      std::fprintf(stderr, "dblint: cannot write %s\n", path.string().c_str());
-      return 1;
-    }
-    std::fprintf(stdout, "dblint: wrote %s\n", path.string().c_str());
-    return 0;
+    return write_doc(root, "LEAKAGE.md", matrix) ? 0 : 1;
+  }
+  if (emit_flows) {
+    std::vector<dblint::FileInput> files = dblint::read_tree(root);
+    const dblint::RepoIndex index = dblint::build_index(files);
+    const dblint::FlowAnalysis analysis = dblint::analyze_flows(index);
+    return write_doc(root, "SECRET_FLOWS.md",
+                     dblint::secret_flows_markdown(analysis.sanctioned))
+               ? 0
+               : 1;
   }
 
-  const auto diagnostics = dblint::lint_tree(root);
+  dblint::LintOptions options;
+  options.cache_dir = cache_dir;
+  dblint::LintStats run_stats;
+  const auto diagnostics = dblint::lint_tree(root, options, &run_stats);
+  if (stats) {
+    std::fprintf(stdout, "dblint-stats files=%zu cache_hits=%zu analysis_ms=%.3f\n",
+                 run_stats.files, run_stats.cache_hits, run_stats.analysis_ms);
+  }
   if (json) {
     std::fprintf(stdout, "%s", dblint::to_json(diagnostics).c_str());
+  } else if (sarif) {
+    std::fprintf(stdout, "%s", dblint::to_sarif(diagnostics).c_str());
   } else {
     for (const auto& d : diagnostics) {
       std::fprintf(stderr, "%s\n", dblint::format(d).c_str());
@@ -57,6 +104,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "dblint: %zu finding(s)\n", diagnostics.size());
     return 1;
   }
-  if (!json) std::fprintf(stdout, "dblint: clean\n");
+  if (!json && !sarif) std::fprintf(stdout, "dblint: clean\n");
   return 0;
 }

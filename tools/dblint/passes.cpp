@@ -99,81 +99,6 @@ void report_lock_cycles(
   }
 }
 
-// ---------------------------------------------------------------------------
-// R8: plaintext-egress
-// ---------------------------------------------------------------------------
-
-bool is_egress_callee(const std::string& callee) {
-  // The replication layer added three more ways for bytes to leave the
-  // trusted zone: ReplicaGroup::call_read / call_write route a request to
-  // cloud replicas, and `dispatch` is the in-process hop onto a replica's
-  // RpcServer (what a real deployment would serialize over the WAN).
-  return callee == "call" || callee == "send_batch" ||
-         callee == "transfer_request" || callee == "transfer_response" ||
-         callee == "call_read" || callee == "call_write" || callee == "dispatch";
-}
-
-/// The files entitled to put plaintext-derived identifiers on the wire:
-/// tactic kernels seal their own payloads (everything they send is already
-/// a label/ciphertext, and the leakage table owns what they reveal), the
-/// rpc/channel implementation moves opaque bytes, and workload/ is the
-/// simulated *client* — plaintext is its job. The replication layer
-/// (src/net/replica_group.cpp, src/core/replication.cpp) is deliberately
-/// NOT here: it replays sealed wire bytes verbatim, so the rule must keep
-/// watching that no plaintext-derived identifier ever enters its egress
-/// calls.
-bool egress_allowlisted(const std::string& path) {
-  if (starts_with(path, "src/core/tactics/")) return true;
-  if (starts_with(path, "src/workload/")) return true;
-  if (path == "src/net/rpc.cpp" || path == "src/net/channel.cpp") return true;
-  return false;
-}
-
-/// Case-sensitive: the `Value(` wire-constructor is allowed (it wraps
-/// already-sealed bytes as often as not), `enc_value` / `plaintext` are
-/// not.
-bool is_plaintext_ident(const std::string& ident) {
-  static const std::set<std::string> kAccessors = {
-      "as_string", "as_int", "as_double", "as_bool", "scalar_bytes",
-      "expose_secret"};
-  if (kAccessors.count(ident) > 0) return true;
-  static const std::set<std::string> kSegments = {"plaintext", "cleartext", "value",
-                                                  "secret"};
-  std::size_t start = 0;
-  while (start <= ident.size()) {
-    const std::size_t us = ident.find('_', start);
-    const std::string seg =
-        ident.substr(start, (us == std::string::npos ? ident.size() : us) - start);
-    if (kSegments.count(seg) > 0) return true;
-    if (us == std::string::npos) break;
-    start = us + 1;
-  }
-  return false;
-}
-
-void plaintext_egress_in_file(const FileIndex& file, std::vector<Diagnostic>* out) {
-  if (!starts_with(file.path, "src/") || egress_allowlisted(file.path)) return;
-  for (const FunctionInfo& fn : file.functions) {
-    for (const CallSite& call : fn.calls) {
-      if (!call.member_call || !is_egress_callee(call.callee)) continue;
-      for (std::size_t k = call.callee_token + 2; k < call.close_token; ++k) {
-        const Token& t = file.tokens[k];
-        if (!t.is_ident || !is_plaintext_ident(t.text)) continue;
-        if (!allowed(file.allows, call.line_index, "plaintext-egress") &&
-            !allowed(file.allows, t.line_index, "plaintext-egress")) {
-          out->push_back({file.path, static_cast<int>(t.line_index + 1),
-                          "plaintext-egress",
-                          "plaintext-derived identifier '" + t.text +
-                              "' flows into egress call '" + call.callee + "' in " +
-                              fn.qualified +
-                              "; seal the payload in a tactic kernel first"});
-        }
-        break;  // one finding per call site
-      }
-    }
-  }
-}
-
 }  // namespace
 
 std::vector<Diagnostic> check_unchecked_status(const RepoIndex& index) {
@@ -209,14 +134,6 @@ std::vector<Diagnostic> check_lock_discipline(const RepoIndex& index) {
     }
   }
   report_lock_cycles(graph, &out);
-  return out;
-}
-
-std::vector<Diagnostic> check_plaintext_egress(const RepoIndex& index) {
-  std::vector<Diagnostic> out;
-  for (const FileIndex& file : index.files) {
-    plaintext_egress_in_file(file, &out);
-  }
   return out;
 }
 

@@ -8,15 +8,10 @@
 //                            RAII guards only — and the lock-order graph
 //                            built from nested guard scopes must be
 //                            acyclic.
-//   plaintext-egress   (R8)  outside the tactic kernel and net/workload
-//                            allowlist, no plaintext/doc::Value-derived
-//                            identifier may appear in the arguments of an
-//                            egress call (RpcClient::call / send_batch,
-//                            Channel::transfer_*, ReplicaGroup::call_read /
-//                            call_write, RpcServer::dispatch). The
-//                            replication TUs are scanned like any other —
-//                            they replay sealed bytes and never mint
-//                            plaintext of their own.
+//
+// R8 (plaintext-egress) lived here through dblint v2; it is gone — replaced
+// by the interprocedural secret-egress rule (R11) in flow.hpp, which checks
+// FLOWS instead of file-path allowlists.
 #pragma once
 
 #include <vector>
@@ -28,6 +23,5 @@ namespace dblint {
 
 std::vector<Diagnostic> check_unchecked_status(const RepoIndex& index);
 std::vector<Diagnostic> check_lock_discipline(const RepoIndex& index);
-std::vector<Diagnostic> check_plaintext_egress(const RepoIndex& index);
 
 }  // namespace dblint

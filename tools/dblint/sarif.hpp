@@ -1,0 +1,19 @@
+// SARIF 2.1.0 emission — `dblint --sarif` output, uploaded by CI to GitHub
+// code scanning so findings render as PR annotations. One run, one tool
+// (driver "dblint"), static rule metadata for R1–R13, and each diagnostic's
+// source→…→sink trace mapped onto result.codeFlows so the annotation shows
+// the whole path, not just the sink line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace dblint {
+
+/// Serializes diagnostics as a SARIF 2.1.0 log (schema:
+/// https://json.schemastore.org/sarif-2.1.0.json).
+std::string to_sarif(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace dblint

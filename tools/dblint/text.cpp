@@ -33,6 +33,41 @@ bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
+namespace {
+
+/// Blanks a raw string literal `R"delim( ... )delim"` in place, starting at
+/// the 'R'. Newlines survive so line numbers hold. Returns the index of the
+/// closing '"' (or the last index if the literal never closes — still better
+/// than desynchronizing the scan for the rest of the file).
+std::size_t blank_raw_string(std::string* out, std::size_t r_pos) {
+  std::string& s = *out;
+  // Delimiter: the (possibly empty) run between `R"` and `(`, max 16 chars.
+  const std::size_t quote = r_pos + 1;
+  std::size_t open = quote + 1;
+  while (open < s.size() && s[open] != '(' && s[open] != '\n' &&
+         open - quote <= 17) {
+    ++open;
+  }
+  if (open >= s.size() || s[open] != '(') {
+    // Not actually a raw literal; blank just the R so the caller's ordinary
+    // string state machine takes over at the quote.
+    return r_pos;
+  }
+  std::string closer;
+  closer.push_back(')');
+  closer.append(s, quote + 1, open - quote - 1);
+  closer.push_back('"');
+  const std::size_t end = s.find(closer, open + 1);
+  const std::size_t last =
+      (end == std::string::npos) ? s.size() - 1 : end + closer.size() - 1;
+  for (std::size_t i = r_pos; i <= last && i < s.size(); ++i) {
+    if (s[i] != '\n') s[i] = ' ';
+  }
+  return last;
+}
+
+}  // namespace
+
 std::string strip_comments_and_strings(const std::string& text, bool keep_strings) {
   std::string out = text;
   enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
@@ -48,6 +83,12 @@ std::string strip_comments_and_strings(const std::string& text, bool keep_string
         } else if (c == '/' && next == '*') {
           state = State::kBlockComment;
           out[i] = ' ';
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !is_ident_char(out[i - 1]))) {
+          // Raw string literal: blanked in BOTH modes (even keep_strings) —
+          // the quote-driven tokenizer cannot re-lex `)delim"` correctly, and
+          // no in-scope table (leakage descriptors) uses raw literals.
+          i = blank_raw_string(&out, i);
         } else if (c == '"') {
           state = State::kString;
           if (!keep_strings) out[i] = ' ';
@@ -57,7 +98,12 @@ std::string strip_comments_and_strings(const std::string& text, bool keep_string
         }
         break;
       case State::kLineComment:
-        if (c == '\n') {
+        if (c == '\\' && next == '\n') {
+          // Backslash line-continuation: the comment swallows the next
+          // physical line too, exactly as the preprocessor does.
+          out[i] = ' ';
+          ++i;  // keep the newline; stay in the comment
+        } else if (c == '\n') {
           state = State::kCode;
         } else {
           out[i] = ' ';
@@ -158,9 +204,11 @@ std::vector<Token> tokenize(const std::string& text) {
   return tokens;
 }
 
-std::vector<std::set<std::string>> collect_allows(const std::vector<std::string>& raw_lines) {
+namespace {
+
+std::vector<std::set<std::string>> collect_markers(
+    const std::vector<std::string>& raw_lines, const std::string& marker) {
   std::vector<std::set<std::string>> allows(raw_lines.size());
-  const std::string marker = "dblint:allow(";
   for (std::size_t i = 0; i < raw_lines.size(); ++i) {
     const std::string& line = raw_lines[i];
     std::size_t pos = 0;
@@ -175,6 +223,19 @@ std::vector<std::set<std::string>> collect_allows(const std::vector<std::string>
     }
   }
   return allows;
+}
+
+}  // namespace
+
+std::vector<std::set<std::string>> collect_allows(const std::vector<std::string>& raw_lines) {
+  return collect_markers(raw_lines, "dblint:allow(");
+}
+
+std::vector<std::set<std::string>> collect_fn_allows(const std::vector<std::string>& raw_lines) {
+  // `dblint:allow-fn(` must be matched first when scanning generically —
+  // here the distinct marker strings keep the two collections disjoint
+  // (plain "dblint:allow(" does not prefix-match the -fn spelling).
+  return collect_markers(raw_lines, "dblint:allow-fn(");
 }
 
 bool allowed(const std::vector<std::set<std::string>>& allows, std::size_t line_index,

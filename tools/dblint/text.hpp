@@ -21,7 +21,10 @@ bool is_ident_char(char c);
 /// Replaces comments — and, unless `keep_strings`, string/char literals —
 /// with spaces so token rules never fire on prose. Newlines survive, so
 /// line numbers hold. The leakage-table parser keeps strings because
-/// descriptor names live in them (`t.name = "DET"`).
+/// descriptor names live in them (`t.name = "DET"`). Raw string literals
+/// (`R"delim(...)delim"`) are blanked in both modes, and a backslash at the
+/// end of a `//` comment continues the comment onto the next physical line,
+/// exactly as the preprocessor reads it.
 std::string strip_comments_and_strings(const std::string& text, bool keep_strings = false);
 
 struct Token {
@@ -39,6 +42,13 @@ std::vector<Token> tokenize(const std::string& text);
 /// Per-line rule sets from `// dblint:allow(<rule>): reason` markers; a
 /// marker suppresses its rule on its own line and the line below.
 std::vector<std::set<std::string>> collect_allows(const std::vector<std::string>& raw_lines);
+
+/// Per-line rule sets from `// dblint:allow-fn(<rule>): reason` markers.
+/// Placed on (or directly above) a function's signature line, the marker
+/// suppresses the rule for the WHOLE function body — the flow rules
+/// (R11–R13) consult it so a sanctioned zone needs one justified escape,
+/// not one per flow. Token rules ignore it.
+std::vector<std::set<std::string>> collect_fn_allows(const std::vector<std::string>& raw_lines);
 
 bool allowed(const std::vector<std::set<std::string>>& allows, std::size_t line_index,
              const std::string& rule);
