@@ -89,6 +89,7 @@ void Executor::run(OperationPlan& plan) {
   }
 }
 
+// dblint:thread-root
 void Executor::worker_loop() {
   for (;;) {
     std::shared_ptr<StageBatch> batch;
@@ -103,6 +104,7 @@ void Executor::worker_loop() {
         continue;
       }
     }
+    // dblint:allow(guard-escape): 'batch' is a shared_ptr copy; refcount keeps it alive
     execute_claimed(*batch);
   }
 }

@@ -220,6 +220,7 @@ Bytes ReplicaGroup::call_read(const std::string& method, const Bytes& wire) {
   std::rethrow_exception(last);
 }
 
+// dblint:thread-root — each hedged attempt below runs on a detached thread.
 Bytes ReplicaGroup::hedged_read(const std::vector<std::size_t>& order,
                                 const std::string& method, const Bytes& wire) {
   struct Shared {

@@ -80,6 +80,7 @@ std::size_t PaillierRandomizerPool::size() const {
   return pool_.size();
 }
 
+// dblint:thread-root
 void PaillierRandomizerPool::refill_worker(std::size_t target) {
   for (;;) {
     {

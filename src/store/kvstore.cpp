@@ -52,6 +52,11 @@ void KvStore::log_op(OpCode op, const std::vector<Bytes>& args) {
 void KvStore::replay(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return;  // fresh store
+  // Replay runs from the constructor, before the store is published to any
+  // other thread — the lock is not needed for correctness, but holding it
+  // keeps every mutation of the table state under mutex_ so the locking
+  // contract is uniform (and statically checkable).
+  std::lock_guard lock(mutex_);
   replaying_ = true;
   auto read_exact = [&](std::uint8_t* buf, std::size_t n) {
     return std::fread(buf, 1, n, f) == n;

@@ -16,6 +16,7 @@ namespace {
 const char* kSearchFields[] = {"status", "code", "subject"};
 }  // namespace
 
+// dblint:thread-root — user_fn below runs on config.users concurrent threads.
 RunResult run_load(ScenarioApi& api, const LoadConfig& config) {
   // Preload a corpus so searches and aggregates hit real data.
   {

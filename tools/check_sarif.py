@@ -13,6 +13,11 @@ Usage: check_sarif.py <file.sarif>   (exit 0 iff structurally valid)
 import json
 import sys
 
+# R1-R16 minus the retired R8; must match rule_table() in tools/dblint/sarif.cpp.
+# A mismatch means a rule was added without declaring it in the driver table
+# (its results would upload without metadata) or removed without pruning it.
+EXPECTED_RULE_COUNT = 15
+
 
 def fail(msg):
     print(f"check_sarif: FAIL: {msg}", file=sys.stderr)
@@ -58,6 +63,12 @@ def main(path):
         )
         rule_ids.append(rule["id"])
     expect(len(set(rule_ids)) == len(rule_ids), "duplicate rule ids in driver table")
+    expect(
+        len(rules) == EXPECTED_RULE_COUNT,
+        f"driver table must declare {EXPECTED_RULE_COUNT} rules, got {len(rules)}",
+    )
+    for rid in ("inconsistent-lockset", "guard-escape", "lock-order-cycle"):
+        expect(rid in rule_ids, f"concurrency rule {rid!r} missing from driver table")
 
     results = run.get("results")
     expect(isinstance(results, list), "run.results must be an array")

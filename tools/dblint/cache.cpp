@@ -12,7 +12,9 @@
 namespace dblint {
 namespace {
 
-constexpr int kFormatVersion = 1;
+// v2: FieldDecl (fd) and FieldAccess (fa) records, GuardSite::var,
+// Statement::held_mutexes (H section), FunctionInfo::thread_root.
+constexpr int kFormatVersion = 2;
 
 std::string hex64(std::uint64_t v) {
   char buf[17];
@@ -151,9 +153,15 @@ void store_file_facts(const std::string& cache_dir, const std::string& path,
   for (const std::string& name : facts.status_names) {
     os << "status " << name << "\n";
   }
+  for (const FieldDecl& fd : facts.index.fields) {
+    os << "fd " << fd.line_index << " " << (fd.is_atomic ? 1 : 0) << " "
+       << (fd.is_sync ? 1 : 0) << " " << fd.class_name << " " << fd.name << " "
+       << opt(fd.type) << "\n";
+  }
   for (const FunctionInfo& fn : facts.index.functions) {
     os << "fn " << fn.line_index << " " << (fn.returns_status ? 1 : 0) << " "
-       << fn.name << " " << fn.qualified << " " << opt(fn.class_name) << "\n";
+       << (fn.thread_root ? 1 : 0) << " " << fn.name << " " << fn.qualified
+       << " " << opt(fn.class_name) << "\n";
     for (const std::string& p : fn.params) os << "p " << p << "\n";
     for (const CallSite& c : fn.calls) {
       os << "c " << c.line_index << " " << (c.member_call ? 1 : 0) << " "
@@ -167,8 +175,14 @@ void store_file_facts(const std::string& cache_dir, const std::string& path,
       for (const std::string& m : c.held_mutexes) os << "h " << m << "\n";
     }
     for (const GuardSite& g : fn.guards) {
-      os << "g " << g.line_index << " " << g.depth;
+      os << "g " << g.line_index << " " << g.depth << " " << opt(g.var);
       for (const std::string& m : g.mutexes) os << " " << m;
+      os << "\n";
+    }
+    for (const FieldAccess& a : fn.accesses) {
+      os << "fa " << a.line_index << " " << (a.is_write ? 1 : 0) << " "
+         << a.field;
+      for (const std::string& m : a.held_mutexes) os << " " << m;
       os << "\n";
     }
     for (const LockEdge& e : fn.lock_edges) {
@@ -177,7 +191,9 @@ void store_file_facts(const std::string& cache_dir, const std::string& path,
     for (const Statement& s : fn.stmts) {
       os << "s " << s.line_index << " " << (s.is_return ? 1 : 0) << " "
          << (s.is_throw ? 1 : 0) << " " << opt(s.write_ident) << " "
-         << opt(s.decl_type) << " C";
+         << opt(s.decl_type) << " H";
+      for (const std::string& m : s.held_mutexes) os << " " << m;
+      os << " C";
       for (const std::size_t c : s.calls) os << " " << c;
       os << " R";
       for (const std::string& r : s.read_idents) os << " " << r;
@@ -241,10 +257,20 @@ bool load_file_facts(const std::string& cache_dir, const std::string& path,
       facts.includes.push_back(std::move(e));
     } else if (rec == "status") {
       facts.status_names.insert(str_field(cur));
+    } else if (rec == "fd") {
+      FieldDecl fd;
+      fd.line_index = num_field<std::size_t>(cur);
+      fd.is_atomic = num_field<int>(cur) != 0;
+      fd.is_sync = num_field<int>(cur) != 0;
+      fd.class_name = str_field(cur);
+      fd.name = str_field(cur);
+      fd.type = unopt(str_field(cur));
+      facts.index.fields.push_back(std::move(fd));
     } else if (rec == "fn") {
       FunctionInfo f;
       f.line_index = num_field<std::size_t>(cur);
       f.returns_status = num_field<int>(cur) != 0;
+      f.thread_root = num_field<int>(cur) != 0;
       f.name = str_field(cur);
       f.qualified = str_field(cur);
       f.class_name = unopt(str_field(cur));
@@ -279,9 +305,18 @@ bool load_file_facts(const std::string& cache_dir, const std::string& path,
       GuardSite g;
       g.line_index = num_field<std::size_t>(cur);
       g.depth = num_field<std::size_t>(cur);
+      g.var = unopt(str_field(cur));
       std::string_view m;
       while (cur.field(&m)) g.mutexes.emplace_back(m);
       fn->guards.push_back(std::move(g));
+    } else if (rec == "fa") {
+      FieldAccess a;
+      a.line_index = num_field<std::size_t>(cur);
+      a.is_write = num_field<int>(cur) != 0;
+      a.field = str_field(cur);
+      std::string_view m;
+      while (cur.field(&m)) a.held_mutexes.emplace_back(m);
+      fn->accesses.push_back(std::move(a));
     } else if (rec == "e") {
       LockEdge e;
       e.line_index = num_field<std::size_t>(cur);
@@ -295,8 +330,11 @@ bool load_file_facts(const std::string& cache_dir, const std::string& path,
       s.is_throw = num_field<int>(cur) != 0;
       s.write_ident = unopt(str_field(cur));
       s.decl_type = unopt(str_field(cur));
-      if (str_field(cur) != "C") return false;
+      if (str_field(cur) != "H") return false;
       std::string_view word;
+      while (cur.field(&word) && word != "C") {
+        s.held_mutexes.emplace_back(word);
+      }
       while (cur.field(&word) && word != "R") {
         std::size_t idx = 0;
         std::from_chars(word.data(), word.data() + word.size(), idx);

@@ -10,8 +10,16 @@
 //     shared_lock) with normalized, class-qualified mutex names and the
 //     brace depth they live at,
 //   * statement-level flow facts (the identifier written, the identifiers
-//     read, return/throw edges, the declared type) — the substrate the
-//     interprocedural taint engine (flow.hpp) runs its summaries over,
+//     read, return/throw edges, the declared type, the lockset open at the
+//     statement) — the substrate the interprocedural taint engine
+//     (flow.hpp) runs its summaries over,
+//   * member-field accesses (read/write, `this`-qualified and
+//     object-qualified, class-scoped names) with the lockset held at each
+//     access — the substrate the lockset race analyzer (concurrency.hpp)
+//     runs its summaries over,
+//   * data-member declarations at class scope (name, type, atomic /
+//     synchronization-object classification),
+//   * `// dblint:thread-root` annotations on function definitions,
 //   * the set of function names whose declared return type is Status or
 //     Result<...>.
 //
@@ -52,6 +60,7 @@ struct GuardSite {
   std::vector<std::string> mutexes;  // normalized; >1 for std::scoped_lock
   std::size_t line_index = 0;
   std::size_t depth = 0;  // brace depth inside the body (body '{' = 1)
+  std::string var;        // guard variable name ("lock", "lk"); "" if unnamed
 };
 
 /// "Mutex `from` was held when `to` was acquired" — one per (guard pair)
@@ -75,6 +84,34 @@ struct Statement {
   std::vector<std::size_t> calls;        // indices into FunctionInfo::calls
   bool is_return = false;                // contains a top-level `return`
   bool is_throw = false;                 // contains a top-level `throw`
+  /// Normalized mutex names whose guards are ACTIVE at the statement —
+  /// deferred guards count only after `.lock()`, and `.unlock()` shrinks
+  /// the set mid-scope.
+  std::vector<std::string> held_mutexes;
+};
+
+/// One member-field access inside a function body: `pool_.push_back(x)` is
+/// a write of `PaillierRandomizerPool::pool_`, `st->mu_` inside a lambda a
+/// read of `st.mu_`. The lockset is the set of mutexes whose guards were
+/// active at the access token.
+struct FieldAccess {
+  std::string field;  // "Class::name_" (this-qualified) or "obj.name_"
+  std::size_t line_index = 0;
+  bool is_write = false;
+  std::vector<std::string> held_mutexes;  // sorted, deduplicated
+};
+
+/// One data-member declaration at class scope. The concurrency analyzer
+/// uses the type to exempt std::atomic fields from race reporting and to
+/// exclude synchronization objects (mutexes, condition variables) from the
+/// guarded-by map.
+struct FieldDecl {
+  std::string class_name;
+  std::string name;
+  std::string type;  // last type segment ("deque", "atomic", "mutex", ...)
+  std::size_t line_index = 0;
+  bool is_atomic = false;  // std::atomic<...> / atomic_*
+  bool is_sync = false;    // mutex / condition_variable family
 };
 
 struct FunctionInfo {
@@ -83,11 +120,13 @@ struct FunctionInfo {
   std::string class_name;  // enclosing class, from the qualifier or scope
   std::size_t line_index = 0;
   bool returns_status = false;  // Status or Result<...> return type
+  bool thread_root = false;     // carries a `// dblint:thread-root` marker
   std::vector<std::string> params;  // parameter names, in order
   std::vector<CallSite> calls;
   std::vector<GuardSite> guards;
   std::vector<LockEdge> lock_edges;
   std::vector<Statement> stmts;
+  std::vector<FieldAccess> accesses;
 };
 
 struct FileIndex {
@@ -95,6 +134,7 @@ struct FileIndex {
   std::vector<std::set<std::string>> allows;     // dblint:allow markers
   std::vector<std::set<std::string>> fn_allows;  // dblint:allow-fn markers
   std::vector<FunctionInfo> functions;
+  std::vector<FieldDecl> fields;  // class-scope data members in this file
 };
 
 struct RepoIndex {

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "cache.hpp"
+#include "concurrency.hpp"
 #include "flow.hpp"
 #include "index.hpp"
 #include "leakage_pass.hpp"
@@ -476,6 +477,8 @@ std::vector<Diagnostic> lint_indexed(const std::vector<FileInput>& files) {
   out.insert(out.end(), locks.begin(), locks.end());
   FlowAnalysis flows = analyze_flows(index);
   out.insert(out.end(), flows.diagnostics.begin(), flows.diagnostics.end());
+  ConcurrencyAnalysis conc = analyze_concurrency(index);
+  out.insert(out.end(), conc.diagnostics.begin(), conc.diagnostics.end());
   return out;
 }
 
@@ -569,6 +572,8 @@ std::vector<Diagnostic> lint_tree(const std::string& repo_root,
   out.insert(out.end(), locks.begin(), locks.end());
   FlowAnalysis flows = analyze_flows(index);
   out.insert(out.end(), flows.diagnostics.begin(), flows.diagnostics.end());
+  ConcurrencyAnalysis conc = analyze_concurrency(index);
+  out.insert(out.end(), conc.diagnostics.begin(), conc.diagnostics.end());
 
   const std::vector<Diagnostic> leakage = lint_leakage_conformance(src_files);
   out.insert(out.end(), leakage.begin(), leakage.end());
@@ -600,6 +605,21 @@ std::vector<Diagnostic> lint_tree(const std::string& repo_root,
                            "`dblint --emit-secret-flows`"
                          : "doc/SECRET_FLOWS.md is stale; regenerate with "
                            "`dblint --emit-secret-flows`"});
+    }
+  }
+
+  // doc/CONCURRENCY.md drift gate: the inferred thread-root inventory and
+  // guarded-by map must match the checked-in concurrency contract.
+  {
+    const std::string expected = concurrency_markdown(conc);
+    const std::string actual = read_doc(repo_root, "CONCURRENCY.md");
+    if (actual != expected) {
+      out.push_back({"doc/CONCURRENCY.md", 1, "inconsistent-lockset",
+                     actual.empty()
+                         ? "doc/CONCURRENCY.md is missing; generate it with "
+                           "`dblint --emit-concurrency`"
+                         : "doc/CONCURRENCY.md is stale; regenerate with "
+                           "`dblint --emit-concurrency`"});
     }
   }
 

@@ -8,7 +8,11 @@
 // interprocedural taint-flow engine (flow.hpp) over per-function summaries
 // propagated to fixpoint, an on-disk facts cache (cache.hpp) keyed by
 // content hash, and SARIF 2.1.0 output (sarif.hpp) for CI code-scanning
-// annotations. The linted tree covers src/, tests/, bench/ and tools/.
+// annotations; v4 adds a RacerD-style interprocedural lockset analyzer
+// (concurrency.hpp) — thread-root discovery, per-function field-access
+// summaries widened by caller-held locks, and guarded-by inference emitted
+// as doc/CONCURRENCY.md. The linted tree covers src/, tests/, bench/ and
+// tools/.
 //
 // Rules:
 //   ct-compare          (R1)  no memcmp/operator== on tag/key/token/mac
@@ -42,12 +46,26 @@
 //                             wiped on every return/throw edge.
 //   lock-held-egress    (R13) no RPC/channel sink reachable while a mutex
 //                             from the R7 lock model is held.
+//   inconsistent-lockset(R14) interprocedural: every pair of concurrently-
+//                             reachable accesses to a field of a lock-
+//                             owning class shares a common mutex (or the
+//                             field is std::atomic); both conflicting
+//                             chains appear in the trace.
+//   guard-escape        (R15) a pointer/iterator into a guarded field
+//                             (.data()/.c_str()/.begin()/…) must not
+//                             outlive the guard: no returning it under the
+//                             lock, no use after the scope closes.
+//   lock-order-cycle    (R16) the lock-order graph plus "holding M while
+//                             calling a function that acquires N" edges
+//                             across the call graph stays acyclic (intra-
+//                             function cycles stay R7 findings).
 //
 // Escape hatches: a finding on line N is suppressed when line N (or the
 // line immediately above) carries `// dblint:allow(<rule>): reason`; the
-// flow rules (R11–R13) additionally honor `// dblint:allow-fn(<rule>):
+// flow rules (R11–R16) additionally honor `// dblint:allow-fn(<rule>):
 // reason` on a function's signature line, suppressing the rule for that
-// whole body.
+// whole body. `// dblint:thread-root` on (or above) a function definition
+// marks it as a thread entry point for R14 reachability.
 #pragma once
 
 #include <string>

@@ -7,12 +7,16 @@
 //   dblint --emit-secret-flows [root]   regenerate doc/SECRET_FLOWS.md from
 //                                       the taint engine's sanctioned-flow
 //                                       inventory
+//   dblint --emit-concurrency [root]    regenerate doc/CONCURRENCY.md from
+//                                       the lockset engine's thread-root and
+//                                       guarded-by inference
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
 
+#include "concurrency.hpp"
 #include "flow.hpp"
 #include "index.hpp"
 #include "leakage_pass.hpp"
@@ -43,6 +47,7 @@ int main(int argc, char** argv) {
   bool stats = false;
   bool emit_matrix = false;
   bool emit_flows = false;
+  bool emit_concurrency = false;
   std::string cache_dir;
   std::string root = ".";
   for (int i = 1; i < argc; ++i) {
@@ -58,11 +63,13 @@ int main(int argc, char** argv) {
       emit_matrix = true;
     } else if (std::strcmp(argv[i], "--emit-secret-flows") == 0) {
       emit_flows = true;
+    } else if (std::strcmp(argv[i], "--emit-concurrency") == 0) {
+      emit_concurrency = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::fprintf(stdout,
                    "usage: dblint [--json|--sarif] [--cache DIR] [--stats]\n"
                    "              [--emit-leakage-matrix] [--emit-secret-flows]\n"
-                   "              [repo_root]\n");
+                   "              [--emit-concurrency] [repo_root]\n");
       return 0;
     } else {
       root = argv[i];
@@ -79,6 +86,14 @@ int main(int argc, char** argv) {
     const dblint::FlowAnalysis analysis = dblint::analyze_flows(index);
     return write_doc(root, "SECRET_FLOWS.md",
                      dblint::secret_flows_markdown(analysis.sanctioned))
+               ? 0
+               : 1;
+  }
+  if (emit_concurrency) {
+    std::vector<dblint::FileInput> files = dblint::read_tree(root);
+    const dblint::RepoIndex index = dblint::build_index(files);
+    const dblint::ConcurrencyAnalysis analysis = dblint::analyze_concurrency(index);
+    return write_doc(root, "CONCURRENCY.md", dblint::concurrency_markdown(analysis))
                ? 0
                : 1;
   }

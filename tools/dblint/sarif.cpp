@@ -54,6 +54,13 @@ const std::vector<RuleMeta>& rule_table() {
        "Raw copies of expose_secret() products must be wiped on every exit path"},
       {"lock-held-egress",
        "No RPC/channel egress may be reachable while a mutex is held"},
+      {"inconsistent-lockset",
+       "Concurrently-reachable accesses to a field must share a common mutex "
+       "(interprocedural lockset analysis)"},
+      {"guard-escape",
+       "Pointers/iterators into guarded fields must not outlive the guard"},
+      {"lock-order-cycle",
+       "The interprocedural lock-order graph must stay acyclic"},
   };
   return kRules;
 }
