@@ -12,13 +12,15 @@
 // S_A >> S_B ~= S_C, with S_C within a few percent of S_B.
 //
 // Environment knobs: FIG5_REQUESTS (default 2400), FIG5_USERS (12),
-// FIG5_PRELOAD (300), FIG5_LATENCY_US (simulated one-way WAN delay, 0).
+// FIG5_PRELOAD (300), FIG5_LATENCY_US (simulated one-way WAN delay, 0),
+// FIG5_SHARDS (cloud shard count, 1; also settable as `--shards N`).
 // Adding WAN delay makes the plaintext baseline pay realistic network
 // costs per operation, compressing the S_A->S_B gap toward the paper's
 // testbed ratio (their S_A was bottlenecked by a real MongoDB over a real
 // network; the in-process default measures the pure CPU ratio instead).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "core/tactics/builtin.hpp"
 #include "workload/loadgen.hpp"
@@ -34,7 +36,7 @@ std::size_t env_or(const char* name, std::size_t fallback) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   LoadConfig cfg;
   cfg.total_requests = env_or("FIG5_REQUESTS", 2400);
   cfg.users = env_or("FIG5_USERS", 12);
@@ -43,34 +45,45 @@ int main() {
   net::ChannelConfig channel_cfg;
   channel_cfg.one_way_latency_us = env_or("FIG5_LATENCY_US", 0);
 
+  std::size_t shards = env_or("FIG5_SHARDS", 1);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+      ++i;
+    }
+  }
+  if (shards == 0) shards = 1;
+
   core::TacticRegistry registry;
   core::register_builtin_tactics(registry);
 
   std::printf("== Figure 5: throughput comparison "
-              "(%zu requests, %zu users, %zu preloaded docs, %llu us one-way) ==\n\n",
+              "(%zu requests, %zu users, %zu preloaded docs, %llu us one-way, "
+              "%zu shard%s) ==\n\n",
               cfg.total_requests, cfg.users, cfg.preload_documents,
-              static_cast<unsigned long long>(channel_cfg.one_way_latency_us));
+              static_cast<unsigned long long>(channel_cfg.one_way_latency_us),
+              shards, shards == 1 ? "" : "s");
 
   RunResult results[3];
   {
-    ScenarioHarness h(channel_cfg);
+    ScenarioHarness h(channel_cfg, shards);
     ScenarioA s(h);
     results[0] = run_load(s, cfg);
     std::printf("%s\n", results[0].to_report().c_str());
   }
   {
-    ScenarioHarness h(channel_cfg);
+    ScenarioHarness h(channel_cfg, shards);
     ScenarioB s(h);
     results[1] = run_load(s, cfg);
     std::printf("%s\n", results[1].to_report().c_str());
   }
   {
-    ScenarioHarness h(channel_cfg);
+    ScenarioHarness h(channel_cfg, shards);
     ScenarioC s(h, registry);
     results[2] = run_load(s, cfg);
     std::printf("%s\n", results[2].to_report().c_str());
     std::printf("secure index operations during S_C run: %llu\n\n",
-                static_cast<unsigned long long>(h.cloud_node.index_ops()));
+                static_cast<unsigned long long>(h.cloud.index_ops()));
   }
 
   // The Figure 5 bars, normalized.

@@ -35,6 +35,7 @@
 #include "core/registry.hpp"
 #include "doc/value.hpp"
 #include "net/replica_group.hpp"
+#include "net/shard_router.hpp"
 
 namespace datablinder::core {
 
@@ -96,6 +97,18 @@ struct GatewayConfig {
 
   /// Failure-accrual tuning for per-replica health / failover.
   net::AccrualConfig accrual;
+
+  /// Shard count for ShardedCloud (core/sharding.hpp). With shards = 1
+  /// (default) no router is built and the stack degrades to the
+  /// ReplicatedCloud shapes (byte-identical wire behaviour). With > 1,
+  /// each shard is its own replica set (`replicas` nodes) and a
+  /// consistent-hash router scatters keys across them: documents by id,
+  /// SSE postings by keyword token, scope-coupled structures whole.
+  std::size_t shards = 1;
+
+  /// Consistent-hash ring tuning (virtual nodes, placement seed) for the
+  /// shard router; ignored unless shards > 1.
+  net::RingConfig shard_ring;
 };
 
 class Gateway {

@@ -1,0 +1,87 @@
+// ShardedCloud — the untrusted zone as N shards × R replicas.
+//
+// Composes the scale-out stack: each shard is a full ReplicatedCloud-style
+// replica set (its own CloudNodes behind independently faultable
+// Channels, assembled into a net::ReplicaGroup), and the shards sit
+// behind one net::ShardRouter fronted by a router-mode RpcClient the
+// Gateway binds to exactly like a single-node client. PR-7 resilience
+// (hedged reads, failure accrual, byte-exact replication, catch-up)
+// applies PER SHARD unchanged — one shard's primary failover never stalls
+// its siblings.
+//
+// Fidelity contract, layered on ReplicatedCloud's:
+//   * shards = 1, replicas = 1, hedged_reads off — no group, no router:
+//     the plain single-node RpcClient, byte-identical on the wire to the
+//     pre-replication build.
+//   * shards = 1 otherwise — exactly the ReplicatedCloud shape (one
+//     group-mode client), byte-identical to PR-7.
+//   * shards > 1 — every shard gets a ReplicaGroup (even at replicas = 1:
+//     the router's contract is "each backend dedups byte-identical
+//     replays", which the group's log provides) and the client routes
+//     through the ShardRouter.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/cloud_node.hpp"
+#include "core/gateway.hpp"
+#include "net/channel.hpp"
+#include "net/replica_group.hpp"
+#include "net/rpc.hpp"
+#include "net/shard_router.hpp"
+
+namespace datablinder::core {
+
+class ShardedCloud {
+ public:
+  /// Builds config.shards shard groups (minimum 1) of config.replicas
+  /// nodes each (minimum 1), every channel starting from `channel_config`.
+  explicit ShardedCloud(const GatewayConfig& config = {},
+                        net::ChannelConfig channel_config = {});
+
+  /// The client the Gateway should be constructed over.
+  net::RpcClient& client() noexcept { return *client_; }
+
+  /// The shard router, or nullptr when shards = 1 (no routing layer).
+  net::ShardRouter* router() noexcept { return router_.get(); }
+
+  /// Replica group of shard s, or nullptr in the legacy plain shape.
+  net::ReplicaGroup* group(std::size_t s) noexcept {
+    return shards_[s].group.get();
+  }
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::size_t replicas_per_shard() const noexcept {
+    return shards_[0].nodes.size();
+  }
+
+  CloudNode& node(std::size_t shard, std::size_t replica = 0) {
+    return *shards_[shard].nodes[replica];
+  }
+  net::Channel& channel(std::size_t shard, std::size_t replica = 0) {
+    return *shards_[shard].channels[replica];
+  }
+
+  /// Replays missing log suffixes on every shard's reachable replicas;
+  /// returns replicas fully in sync, summed across shards.
+  std::size_t catch_up();
+
+  /// Cluster-wide counters summed across every node of every shard (the
+  /// bench/observability view a single CloudNode used to provide).
+  std::uint64_t index_ops() const;
+  std::size_t storage_bytes() const;
+
+ private:
+  struct Shard {
+    std::vector<std::unique_ptr<CloudNode>> nodes;
+    std::vector<std::unique_ptr<net::Channel>> channels;
+    std::unique_ptr<net::ReplicaGroup> group;
+  };
+
+  std::vector<Shard> shards_;
+  std::unique_ptr<net::ShardRouter> router_;  // before client_: client holds it
+  std::unique_ptr<net::RpcClient> client_;
+};
+
+}  // namespace datablinder::core

@@ -1,5 +1,6 @@
 #include "net/channel.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -56,8 +57,18 @@ void Channel::simulate_delay(std::uint64_t latency_us, std::uint64_t bandwidth,
   }
 }
 
+namespace {
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
 ChannelConfig Channel::account_and_maybe_fail(const std::string& method,
-                                              bool is_request) {
+                                              bool is_request,
+                                              std::uint64_t* service_wait_us) {
   if (closed_) throw_error(ErrorCode::kUnavailable, "channel closed");
   std::lock_guard lock(mutex_);
   const std::uint64_t seq = ++transfer_seq_;
@@ -95,13 +106,27 @@ ChannelConfig Channel::account_and_maybe_fail(const std::string& method,
           config_.failure_probability) {
     fault("probabilistic");
   }
+  if (is_request && service_wait_us != nullptr && config_.service_time_us > 0) {
+    // Reserve the endpoint's next service slot: requests queue behind each
+    // other (serialized per channel), but the wait itself happens outside
+    // the lock so concurrent transfers on OTHER channels overlap freely.
+    const std::uint64_t now = steady_now_us();
+    const std::uint64_t start = std::max(now, busy_until_us_);
+    busy_until_us_ = start + config_.service_time_us;
+    *service_wait_us = busy_until_us_ - now;
+  }
   return config_;
 }
 
 void Channel::transfer_request(std::size_t bytes, const std::string& method) {
-  const ChannelConfig cfg = account_and_maybe_fail(method, /*is_request=*/true);
+  std::uint64_t service_wait_us = 0;
+  const ChannelConfig cfg =
+      account_and_maybe_fail(method, /*is_request=*/true, &service_wait_us);
   stats_.bytes_sent += bytes;
   stats_.round_trips += 1;
+  if (service_wait_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(service_wait_us));
+  }
   simulate_delay(cfg.one_way_latency_us, cfg.bandwidth_bytes_per_sec, bytes);
 }
 

@@ -31,6 +31,15 @@ struct ChannelConfig {
   std::uint64_t one_way_latency_us = 0;
   /// Bytes per second in each direction; 0 = unlimited.
   std::uint64_t bandwidth_bytes_per_sec = 0;
+  /// Serialized service time per request at the endpoint, in microseconds;
+  /// 0 (default) disables the service model. Unlike latency and bandwidth
+  /// delays — which overlap freely across concurrent callers — service
+  /// reservations are serialized per channel: each request leg reserves
+  /// the endpoint for service_time_us after the previous reservation ends,
+  /// modeling a single-threaded shard node working through its queue. N
+  /// shard channels are N independent service queues, which is what makes
+  /// horizontal scale-out measurable even on a single-core host.
+  std::uint64_t service_time_us = 0;
   /// Probability in [0,1] that a transfer fails with kUnavailable (fault
   /// injection for tests).
   double failure_probability = 0.0;
@@ -126,14 +135,18 @@ class Channel {
  private:
   void simulate_delay(std::uint64_t latency_us, std::uint64_t bandwidth,
                       std::size_t bytes) const;
-  /// Evaluates fault clauses for one transfer; returns the latched config
-  /// snapshot so the delay simulation runs outside the lock.
-  ChannelConfig account_and_maybe_fail(const std::string& method, bool is_request);
+  /// Evaluates fault clauses for one transfer and, for request legs under
+  /// a service model, reserves the endpoint's next service slot (into
+  /// *service_wait_us). Returns the latched config snapshot so the delay
+  /// simulation runs outside the lock.
+  ChannelConfig account_and_maybe_fail(const std::string& method, bool is_request,
+                                       std::uint64_t* service_wait_us = nullptr);
 
   mutable std::mutex mutex_;  // guards config_, plan state, RNG, ordinal
   ChannelConfig config_;
   FaultPlan plan_;
   std::uint64_t transfer_seq_ = 0;
+  std::uint64_t busy_until_us_ = 0;  // service-queue head (guarded by mutex_)
   std::mt19937_64 rng_;
 
   ChannelStats stats_;

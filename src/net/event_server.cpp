@@ -1,0 +1,347 @@
+#include "net/event_server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace datablinder::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_error(ErrorCode::kInternal, "fcntl O_NONBLOCK failed");
+  }
+}
+
+Bytes frame_bytes(BytesView body) {
+  Bytes out = be32(static_cast<std::uint32_t>(body.size()));
+  append(out, body);
+  return out;
+}
+
+}  // namespace
+
+EventServer::EventServer(Dispatch dispatch, Submit submit,
+                         EventServerConfig config)
+    : dispatch_(std::move(dispatch)),
+      submit_(std::move(submit)),
+      config_(config) {
+  if (!dispatch_) {
+    throw_error(ErrorCode::kInvalidArgument, "EventServer needs a dispatcher");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_error(ErrorCode::kInternal, "socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, config_.listen_backlog) < 0) {
+    ::close(listen_fd_);
+    throw_error(ErrorCode::kInternal, "bind/listen on loopback failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(listen_fd_);
+    throw_error(ErrorCode::kInternal, "getsockname failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+
+  if (::pipe(wake_fds_) < 0) {
+    ::close(listen_fd_);
+    throw_error(ErrorCode::kInternal, "self-pipe failed");
+  }
+  set_nonblocking(wake_fds_[0]);
+  set_nonblocking(wake_fds_[1]);
+
+  loop_thread_ = std::thread([this] { loop(); });
+}
+
+EventServer::~EventServer() {
+  stop_.store(true, std::memory_order_release);
+  wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+  ::close(listen_fd_);
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+}
+
+void EventServer::wake() {
+  const char byte = 1;
+  // Best-effort: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] const auto n = ::write(wake_fds_[1], &byte, 1);
+}
+
+// dblint:thread-root
+void EventServer::loop() {
+  std::vector<pollfd> pfds;
+  while (!stop_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    pfds.push_back({wake_fds_[0], POLLIN, 0});
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : conns_) {
+      short events = POLLIN;
+      if (conn.out.size() > conn.out_offset) events |= POLLOUT;
+      pfds.push_back({fd, events, 0});
+    }
+
+    const int ready = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/200);
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable poll failure: shut the reactor down
+    }
+
+    if (pfds[0].revents & POLLIN) {
+      char buf[256];
+      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    drain_completions();
+    if (pfds[1].revents & POLLIN) accept_ready();
+
+    for (std::size_t i = 2; i < pfds.size(); ++i) {
+      const int fd = pfds[i].fd;
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed by an earlier event
+      if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        close_conn(fd);
+        continue;
+      }
+      if (pfds[i].revents & POLLIN) {
+        read_ready(it->second);
+        it = conns_.find(fd);
+        if (it == conns_.end()) continue;
+      }
+      if (pfds[i].revents & POLLOUT) {
+        if (!write_ready(it->second)) close_conn(fd);
+      }
+    }
+  }
+}
+
+void EventServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient accept failure
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    Conn c;
+    c.id = next_conn_id_++;
+    c.fd = fd;
+    conn_fds_[c.id] = fd;
+    conns_.emplace(fd, std::move(c));
+
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t open =
+        open_connections_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::uint64_t peak = stats_.peak_connections.load(std::memory_order_relaxed);
+    while (open > peak && !stats_.peak_connections.compare_exchange_weak(
+                              peak, open, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+// conns_/conn_fds_ are poll-loop confined: every caller (accept/read/write
+// readiness, completion drain) runs on the single loop thread; workers only
+// touch the mutex-guarded completion queue, and the destructor joins the
+// loop before teardown.
+// dblint:allow-fn(inconsistent-lockset): loop-thread-confined state
+void EventServer::close_conn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  conn_fds_.erase(it->second.id);
+  conns_.erase(it);
+  ::close(fd);
+  stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void EventServer::read_ready(Conn& c) {
+  std::uint8_t buf[16384];
+  for (;;) {
+    const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+    if (n > 0) {
+      c.in.insert(c.in.end(), buf, buf + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    close_conn(c.fd);  // EOF or hard error
+    return;
+  }
+
+  // Peel complete frames off the front of the read buffer.
+  std::size_t offset = 0;
+  while (c.in.size() - offset >= 4) {
+    const std::uint32_t frame_len =
+        read_be32(BytesView(c.in.data() + offset, 4));
+    if (frame_len > config_.max_frame_bytes) {
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      close_conn(c.fd);
+      return;
+    }
+    if (c.in.size() - offset - 4 < frame_len) break;  // incomplete
+    Bytes frame(c.in.begin() + static_cast<std::ptrdiff_t>(offset + 4),
+                c.in.begin() + static_cast<std::ptrdiff_t>(offset + 4 + frame_len));
+    offset += 4 + frame_len;
+    stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+    dispatch_frame(c, c.next_seq++, std::move(frame));
+  }
+  if (offset > 0) {
+    c.in.erase(c.in.begin(), c.in.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+}
+
+void EventServer::dispatch_frame(const Conn& c, std::uint64_t seq, Bytes frame) {
+  const std::uint64_t conn_id = c.id;
+  auto job = [this, conn_id, seq, frame = std::move(frame)]() {
+    Response response;
+    try {
+      const Request request = Request::deserialize(frame);
+      response = dispatch_(request);
+    } catch (const Error& e) {
+      response = Response::failure(e.code(), e.what());
+    } catch (const std::exception& e) {
+      response = Response::failure(ErrorCode::kInternal, e.what());
+    }
+    enqueue_completion({conn_id, seq, response.serialize()});
+  };
+  if (submit_) {
+    submit_(std::move(job));
+  } else {
+    job();
+  }
+}
+
+void EventServer::enqueue_completion(Completion completion) {
+  {
+    std::lock_guard lock(completions_mutex_);
+    completions_.push_back(std::move(completion));
+  }
+  wake();
+}
+
+void EventServer::drain_completions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard lock(completions_mutex_);
+    done.swap(completions_);
+  }
+  for (auto& completion : done) {
+    auto fd_it = conn_fds_.find(completion.conn_id);
+    if (fd_it == conn_fds_.end()) continue;  // connection already closed
+    Conn& c = conns_.at(fd_it->second);
+    c.done.emplace(completion.seq, std::move(completion.frame));
+    // Flush strictly in request order: pipelined clients match responses
+    // to requests positionally.
+    while (!c.done.empty() && c.done.begin()->first == c.next_flush) {
+      const Bytes framed = frame_bytes(c.done.begin()->second);
+      append(c.out, framed);
+      c.done.erase(c.done.begin());
+      ++c.next_flush;
+      stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!write_ready(c)) close_conn(c.fd);
+  }
+}
+
+bool EventServer::write_ready(Conn& c) {
+  while (c.out_offset < c.out.size()) {
+    const ssize_t n = ::write(c.fd, c.out.data() + c.out_offset,
+                              c.out.size() - c.out_offset);
+    if (n > 0) {
+      c.out_offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;  // peer gone
+  }
+  c.out.clear();
+  c.out_offset = 0;
+  return true;
+}
+
+// --- FramedClient ------------------------------------------------------------
+
+FramedClient::FramedClient(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_error(ErrorCode::kInternal, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_error(ErrorCode::kUnavailable, "connect to event server failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+FramedClient::~FramedClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FramedClient::send(const Request& request) {
+  const Bytes framed = frame_bytes(request.serialize());
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::write(fd_, framed.data() + off, framed.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw_error(ErrorCode::kUnavailable, "event server write failed");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+Response FramedClient::recv() {
+  auto read_exact = [this](std::uint8_t* dst, std::size_t want) {
+    std::size_t got = 0;
+    while (got < want) {
+      const ssize_t n = ::read(fd_, dst + got, want - got);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        throw_error(ErrorCode::kUnavailable, "event server read failed");
+      }
+      got += static_cast<std::size_t>(n);
+    }
+  };
+  std::uint8_t len_buf[4];
+  read_exact(len_buf, sizeof(len_buf));
+  const std::uint32_t frame_len = read_be32(BytesView(len_buf, 4));
+  Bytes frame(frame_len);
+  read_exact(frame.data(), frame.size());
+  return Response::deserialize(frame);
+}
+
+Bytes FramedClient::call(const std::string& method, BytesView payload) {
+  send(Request{method, Bytes(payload.begin(), payload.end())});
+  Response response = recv();
+  if (!response.ok) throw_error(response.error, response.error_message);
+  return std::move(response.payload);
+}
+
+}  // namespace datablinder::net

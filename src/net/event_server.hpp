@@ -1,0 +1,157 @@
+// EventServer — event-driven, non-blocking server loop for the cloud-side
+// front end.
+//
+// The simulated Channel gives every in-process client a function-call
+// transport; this is the socket half the paper's deployment implies: a
+// single poll(2)-driven reactor thread multiplexing thousands of
+// concurrent client connections, with all request execution handed off to
+// a worker pool (the exec Executor via the `submit` hook) so the loop
+// never blocks on crypto or storage work.
+//
+// Protocol: length-prefixed frames (4-byte big-endian length, then the
+// serialized net::Request / net::Response bytes) over TCP on loopback —
+// the exact serialize()/deserialize() pair the in-process RPC path already
+// exercises, so the same bytes run over a real socket unchanged.
+//
+// Per-connection state machine: a read buffer accumulates partial frames;
+// complete frames are decoded and dispatched with a per-connection
+// sequence number; responses may complete out of order on the pool, but
+// are flushed strictly in request order (pipelining-safe). Write
+// readiness is edge-managed: a connection polls POLLOUT only while its
+// output buffer is non-empty.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/message.hpp"
+
+namespace datablinder::net {
+
+struct EventServerConfig {
+  /// Frames larger than this are protocol errors (connection dropped).
+  std::size_t max_frame_bytes = 16u << 20;
+  int listen_backlog = 1024;
+};
+
+/// Counters are cumulative since construction; peak_connections is the
+/// high-water mark of simultaneously open connections (the ">= 1000
+/// concurrent clients" acceptance metric).
+struct EventServerStats {
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_closed{0};
+  std::atomic<std::uint64_t> frames_in{0};
+  std::atomic<std::uint64_t> frames_out{0};
+  std::atomic<std::uint64_t> peak_connections{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+};
+
+class EventServer {
+ public:
+  /// Executes one decoded request; runs on whatever thread `submit`
+  /// provides (or inline on the loop thread without one). Must not throw —
+  /// but is wrapped defensively: an escaping exception becomes a typed
+  /// failure Response.
+  using Dispatch = std::function<Response(const Request&)>;
+  /// Worker-pool hand-off (e.g. core::exec::Executor::submit). The jobs
+  /// are self-contained and never throw. nullptr = dispatch inline.
+  using Submit = std::function<void(std::function<void()>)>;
+
+  /// Binds 127.0.0.1 on an ephemeral port and starts the reactor thread.
+  EventServer(Dispatch dispatch, Submit submit = nullptr,
+              EventServerConfig config = {});
+
+  /// Stops the loop, closes every connection, joins the thread. In-flight
+  /// submitted jobs may still run afterwards; their completions are
+  /// dropped safely.
+  ~EventServer();
+
+  EventServer(const EventServer&) = delete;
+  EventServer& operator=(const EventServer&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+  const EventServerStats& stats() const noexcept { return stats_; }
+  std::size_t open_connections() const noexcept {
+    return open_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One connection's framed-message state machine.
+  struct Conn {
+    std::uint64_t id = 0;
+    int fd = -1;
+    Bytes in;                             // partial inbound frames
+    Bytes out;                            // encoded outbound frames
+    std::size_t out_offset = 0;           // flushed prefix of `out`
+    std::uint64_t next_seq = 0;           // next request sequence to assign
+    std::uint64_t next_flush = 0;         // next response sequence to emit
+    std::map<std::uint64_t, Bytes> done;  // out-of-order completed frames
+  };
+
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    Bytes frame;  // serialized Response
+  };
+
+  void loop();
+  void accept_ready();
+  void read_ready(Conn& c);
+  bool write_ready(Conn& c);  // false when the connection must close
+  void drain_completions();
+  void enqueue_completion(Completion completion);
+  void dispatch_frame(const Conn& c, std::uint64_t seq, Bytes frame);
+  void close_conn(int fd);
+  void wake();
+
+  Dispatch dispatch_;
+  Submit submit_;
+  EventServerConfig config_;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [0] read end polled by the loop
+  std::uint16_t port_ = 0;
+
+  // Owned by the loop thread exclusively (no lock needed).
+  std::unordered_map<int, Conn> conns_;              // by fd
+  std::unordered_map<std::uint64_t, int> conn_fds_;  // id -> fd
+  std::uint64_t next_conn_id_ = 1;
+
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+
+  EventServerStats stats_;
+  std::atomic<std::size_t> open_connections_{0};
+  std::atomic<bool> stop_{false};
+  std::thread loop_thread_;
+};
+
+/// Minimal blocking client for tests and benches: one TCP connection
+/// speaking the framed Request/Response protocol.
+class FramedClient {
+ public:
+  explicit FramedClient(std::uint16_t port);
+  ~FramedClient();
+
+  FramedClient(const FramedClient&) = delete;
+  FramedClient& operator=(const FramedClient&) = delete;
+
+  /// Writes one request frame (no response read — pipelining-friendly).
+  void send(const Request& request);
+  /// Blocks for the next response frame.
+  Response recv();
+  /// send() + recv(); throws the server-side Error on failure responses.
+  Bytes call(const std::string& method, BytesView payload);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace datablinder::net

@@ -5,11 +5,17 @@
 
 #include "common/rng.hpp"
 #include "net/replica_group.hpp"
+#include "net/shard_router.hpp"
 
 namespace datablinder::net {
 
 RpcClient::RpcClient(ReplicaGroup& group)
     : server_(group.server(0)), channel_(group.channel(0)), group_(&group) {}
+
+RpcClient::RpcClient(ShardRouter& router)
+    : server_(router.group(0).server(0)),
+      channel_(router.group(0).channel(0)),
+      router_(&router) {}
 
 void RpcServer::register_method(const std::string& method, Handler handler) {
   std::lock_guard lock(mutex_);
@@ -161,6 +167,15 @@ RpcServer::Handler RpcClient::make_batch_handler(const RpcServer& server) {
 }
 
 void RpcClient::set_retry_policy(RetryPolicy policy) {
+  if (router_ != nullptr) {
+    // Same hedging gate as group mode, forwarded to every shard's group.
+    if (policy.enabled) {
+      router_->set_hedgeable(
+          [policy](const std::string& method) { return policy.retryable(method); });
+    } else {
+      router_->set_hedgeable(nullptr);
+    }
+  }
   if (group_ != nullptr) {
     // Hedging is a speculative retry: only methods the whitelist declares
     // replay-idempotent may be hedged or re-sent after their request leg
@@ -187,6 +202,7 @@ void RpcClient::set_clock(RetryClock* clock) {
 }
 
 void RpcClient::set_metrics_hook(MetricsHook hook) {
+  if (router_ != nullptr) router_->set_metrics_hook(hook);
   if (group_ != nullptr) group_->set_metrics_hook(hook);
   std::lock_guard lock(policy_mutex_);
   hook_ = std::move(hook);
@@ -245,9 +261,12 @@ Bytes RpcClient::call(const std::string& method, BytesView payload) {
     clock = clock_ != nullptr ? clock_ : &RetryClock::system();
   }
   CircuitBreaker& breaker = channel_.breaker();
-  if (!policy.enabled && (group_ != nullptr || !breaker.enabled())) {
-    // Seed fast path: fail fast. In group mode the per-replica accrual
-    // detector is the health authority, so the breaker never gates calls.
+  if (!policy.enabled &&
+      (group_ != nullptr || router_ != nullptr || !breaker.enabled())) {
+    // Seed fast path: fail fast. In group/sharded mode the per-replica
+    // accrual detector is the health authority, so the breaker never
+    // gates calls.
+    if (router_ != nullptr) return router_->call(method, wire_request);
     if (group_ != nullptr) return group_->call(method, wire_request);
     return dispatch_once(method, wire_request);
   }
@@ -261,7 +280,17 @@ Bytes RpcClient::call(const std::string& method, BytesView payload) {
   for (std::uint32_t attempt = 1;; ++attempt) {
     bool transport_failure;
     std::exception_ptr error;
-    if (group_ != nullptr) {
+    if (router_ != nullptr) {
+      // Sharded mode: routing re-derives the same sub-requests on every
+      // attempt (deterministic placement), so retries replay byte-exactly
+      // into each shard's dedup log just like group mode.
+      try {
+        return router_->call(method, wire_request);
+      } catch (const Error& e) {
+        transport_failure = e.code() == ErrorCode::kUnavailable;
+        error = std::current_exception();
+      }
+    } else if (group_ != nullptr) {
       // Group mode: the group already did per-replica routing/failover;
       // what escapes it is either a typed server error or "no replica
       // could serve this" — the latter retries under the normal budget

@@ -30,6 +30,7 @@
 namespace datablinder::net {
 
 class ReplicaGroup;
+class ShardRouter;
 
 class RpcServer {
  public:
@@ -63,6 +64,16 @@ class RpcClient {
   /// rules, and the group dedups replayed writes byte-exactly. The group
   /// must outlive the client.
   explicit RpcClient(ReplicaGroup& group);
+
+  /// Sharded mode: every call routes through the consistent-hash router
+  /// (single-key and scope methods to one shard, array methods scattered
+  /// with ordered merges, structure-wide reads broadcast). Each shard is a
+  /// ReplicaGroup, so the group-mode retry semantics apply per shard; the
+  /// retry loop wraps the whole routed operation and re-sends the same
+  /// top-level bytes, which re-derives byte-identical sub-requests (the
+  /// routing is deterministic) that each shard's log dedups. The router
+  /// must outlive the client.
+  explicit RpcClient(ShardRouter& router);
 
   /// Full round trip: serialize, cross the channel, dispatch, cross back,
   /// deserialize. Throws the server-side Error on failure responses.
@@ -129,6 +140,11 @@ class RpcClient {
 
   Channel& channel() noexcept { return channel_; }
 
+  /// The shard router, or nullptr outside sharded mode (the exec Planner
+  /// consults it to build per-shard scatter stages that agree with the
+  /// router's placement).
+  ShardRouter* shard_router() const noexcept { return router_; }
+
  private:
   struct Deferred {
     std::set<std::string> methods;
@@ -142,7 +158,8 @@ class RpcClient {
 
   RpcServer& server_;
   Channel& channel_;
-  ReplicaGroup* group_ = nullptr;  // non-null => group routing mode
+  ReplicaGroup* group_ = nullptr;   // non-null => group routing mode
+  ShardRouter* router_ = nullptr;   // non-null => sharded routing mode
 
   mutable std::mutex policy_mutex_;  // guards policy_, clock_, hook_
   RetryPolicy policy_;

@@ -15,6 +15,7 @@
 
 #include "core/cloud_node.hpp"
 #include "core/gateway.hpp"
+#include "core/sharding.hpp"
 #include "core/tactics/det_tactic.hpp"
 #include "core/tactics/mitra_tactic.hpp"
 #include "core/tactics/paillier_tactic.hpp"
@@ -24,13 +25,19 @@
 namespace datablinder::workload {
 
 /// Everything one scenario run needs: an isolated cloud, channel and
-/// gateway-side resources.
+/// gateway-side resources. With shards = 1 (default) the cloud collapses
+/// to the classic single node + single channel (byte-identical wire
+/// behaviour); with more, the scenarios run unchanged against the
+/// consistent-hash-sharded cluster — the scale-out benchmark's whole
+/// point is that the workload code cannot tell the difference.
 struct ScenarioHarness {
-  explicit ScenarioHarness(net::ChannelConfig channel_config = {});
+  explicit ScenarioHarness(net::ChannelConfig channel_config = {},
+                           std::size_t shards = 1);
 
-  core::CloudNode cloud_node;
-  net::Channel channel;
-  net::RpcClient rpc;
+  core::ShardedCloud cloud;
+  net::RpcClient& rpc;          // cloud.client()
+  core::CloudNode& cloud_node;  // shard 0, replica 0 (legacy accessors)
+  net::Channel& channel;        // shard 0, replica 0
   kms::KeyManager kms;
   store::KvStore local_store;
 };

@@ -1,0 +1,150 @@
+// EventServer tests: framed request/response round trips, typed error
+// propagation, pipelined in-order replies with worker-pool hand-off, a
+// real CloudNode behind the socket, and the ISSUE acceptance criterion —
+// >= 1000 concurrent client connections multiplexed by one poll loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/cloud_node.hpp"
+#include "core/exec/executor.hpp"
+#include "core/metrics.hpp"
+#include "core/wire.hpp"
+#include "net/event_server.hpp"
+#include "net/message.hpp"
+
+namespace datablinder::net {
+namespace {
+
+using doc::Value;
+
+Request make_request(const std::string& method, Bytes payload) {
+  Request r;
+  r.method = method;
+  r.payload = std::move(payload);
+  return r;
+}
+
+TEST(EventServerTest, EchoRoundTrip) {
+  EventServer server([](const Request& r) { return Response::success(r.payload); });
+  FramedClient client(server.port());
+  const Bytes payload = {1, 2, 3, 4};
+  EXPECT_EQ(client.call("echo", payload), payload);
+  EXPECT_GE(server.stats().frames_in.load(), 1u);
+  EXPECT_GE(server.stats().frames_out.load(), 1u);
+}
+
+TEST(EventServerTest, TypedErrorsPropagateThroughTheSocket) {
+  EventServer server([](const Request&) -> Response {
+    throw Error(ErrorCode::kNotFound, "no such thing");
+  });
+  FramedClient client(server.port());
+  try {
+    client.call("lookup", {});
+    FAIL() << "expected kNotFound";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNotFound);
+  }
+}
+
+TEST(EventServerTest, PipelinedRequestsAnswerInOrderViaExecutorPool) {
+  // Responses may COMPLETE out of order on the worker pool; the per
+  // connection state machine must still flush them in request order.
+  core::PerfRegistry perf;
+  core::exec::Executor exec(perf, 2);
+  EventServer server(
+      [](const Request& r) {
+        // Tiny jitter so later frames routinely finish first.
+        if (r.payload[0] % 3 == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        return Response::success(r.payload);
+      },
+      [&exec](std::function<void()> job) { exec.submit(std::move(job)); });
+
+  FramedClient client(server.port());
+  const int kFrames = 32;
+  for (int i = 0; i < kFrames; ++i) {
+    client.send(make_request("echo", Bytes{static_cast<std::uint8_t>(i)}));
+  }
+  for (int i = 0; i < kFrames; ++i) {
+    const Response r = client.recv();
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.payload, Bytes{static_cast<std::uint8_t>(i)});
+  }
+}
+
+TEST(EventServerTest, ServesARealCloudNode) {
+  core::CloudNode node;
+  EventServer server([&node](const Request& r) { return node.rpc().dispatch(r); });
+
+  FramedClient client(server.port());
+  client.call("doc.put", core::wire::pack({{"col", Value("c")},
+                                           {"id", Value("x")},
+                                           {"blob", Value(Bytes{42})}}));
+  const Bytes reply =
+      client.call("doc.get", core::wire::pack({{"col", Value("c")}, {"id", Value("x")}}));
+  EXPECT_EQ(core::wire::get_bin(core::wire::unpack(reply), "blob"), Bytes{42});
+}
+
+TEST(EventServerTest, OversizedFrameClosesOnlyThatConnection) {
+  EventServerConfig cfg;
+  cfg.max_frame_bytes = 64;
+  EventServer server([](const Request& r) { return Response::success(r.payload); },
+                     nullptr, cfg);
+
+  FramedClient bad(server.port());
+  FramedClient good(server.port());
+  EXPECT_THROW(
+      {
+        bad.send(make_request("echo", Bytes(1024, 1)));
+        bad.recv();
+      },
+      Error);
+  // The protocol violation is counted and the other connection is fine.
+  EXPECT_EQ(good.call("echo", Bytes{5}), Bytes{5});
+  EXPECT_GE(server.stats().protocol_errors.load(), 1u);
+}
+
+TEST(EventServerTest, MultiplexesAThousandConcurrentConnections) {
+  // Acceptance criterion: one poll loop holds >= 1000 live connections at
+  // once and serves them all. Clients connect, all stay open while each
+  // performs a round trip, and peak_connections records the high-water
+  // mark.
+  EventServer server([](const Request& r) { return Response::success(r.payload); });
+
+  const std::size_t kClients = 1024;
+  std::vector<std::unique_ptr<FramedClient>> clients;
+  clients.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.push_back(std::make_unique<FramedClient>(server.port()));
+  }
+
+  // A few driver threads issue one round trip per open connection.
+  std::atomic<std::size_t> ok{0};
+  const std::size_t kDrivers = 8;
+  std::vector<std::thread> drivers;
+  for (std::size_t t = 0; t < kDrivers; ++t) {
+    drivers.emplace_back([&, t] {
+      for (std::size_t i = t; i < kClients; i += kDrivers) {
+        const Bytes payload = {static_cast<std::uint8_t>(i & 0xFF)};
+        if (clients[i]->call("echo", payload) == payload) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& d : drivers) d.join();
+
+  EXPECT_EQ(ok.load(), kClients);
+  EXPECT_GE(server.stats().peak_connections.load(), kClients);
+  clients.clear();
+}
+
+}  // namespace
+}  // namespace datablinder::net
